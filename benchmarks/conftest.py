@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment benchmarks (E1–E7).
+
+Each benchmark module reproduces one experiment from DESIGN.md §4 and
+prints the table EXPERIMENTS.md records.  ``pytest benchmarks/
+--benchmark-only`` runs them; the printed tables appear with ``-s`` (or
+in the captured output section).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rewriter import rewrite
+from repro.scenarios.running_example import build_scenario
+
+
+@pytest.fixture(scope="session")
+def running_rewritten():
+    return rewrite(build_scenario())
+
+
+@pytest.fixture(scope="session")
+def running_rewritten_no_key():
+    return rewrite(build_scenario(include_key=False))
+
+
+def print_experiment_table(table) -> None:
+    """Emit an experiment table so it survives pytest's capture."""
+    import sys
+
+    print()
+    print(table.render())
+    sys.stdout.flush()

@@ -1,0 +1,69 @@
+"""The rating/classification pattern at scale, plus what happens on conflicts.
+
+Section 4 of the paper: "one of the data sources somehow rates source
+objects, and the mapping application requires to classify objects in
+the target based on these ratings."  This example runs the
+classification scenario over a larger store catalogue, reports the
+classification the semantic schema exposes, and then deliberately
+injects a key violation (two distinct popular products with the same
+name) to show the greedy ded chase exploring and rejecting every branch
+of d0.
+
+Run:  python examples/product_classification.py
+"""
+
+from repro import run_scenario
+from repro.datalog import view_extent
+from repro.reporting import Table
+from repro.scenarios import build_scenario, generate_source_instance
+
+
+def classify(products: int, seed: int) -> None:
+    scenario = build_scenario()
+    source = generate_source_instance(
+        products=products, stores=8, seed=seed, benign_name_pairs=3
+    )
+    outcome = run_scenario(scenario, source)
+    assert outcome.ok, outcome.chase.failure_reason
+
+    extents = view_extent(scenario.target_views, outcome.target)
+    table = Table(
+        f"Classification of {products} products (+3 benign name pairs)",
+        ["class", "products", "share"],
+    )
+    total = source.size("S_Product")
+    for view in ("PopularProduct", "AvgProduct", "UnpopularProduct"):
+        count = len(extents[view])
+        table.add(view, count, f"{100.0 * count / total:.1f}%")
+    table.print()
+    print(f"\nchase: {outcome.chase}")
+    print(f"greedy ded scenarios tried: {outcome.chase.scenarios_tried} "
+          f"(benign same-name pairs satisfy d0 through its rating branches)")
+    print(f"verification: {outcome.verification}")
+
+
+def conflict() -> None:
+    print("\n== Injecting a key violation ==")
+    scenario = build_scenario()
+    source = generate_source_instance(
+        products=10, seed=7, popular_name_conflicts=1
+    )
+    outcome = run_scenario(scenario, source)
+    print(f"chase: {outcome.chase}")
+    print(
+        "Two *popular* products share a name: d0's equality branch equates\n"
+        "distinct ids, and both rating branches hand the popular product a\n"
+        "thumbs-down — which the companion denial of m2 forbids.  All\n"
+        f"{outcome.chase.scenarios_tried} derived scenarios fail, so the\n"
+        "semantic scenario is correctly reported unsatisfiable."
+    )
+    assert not outcome.ok
+
+
+def main() -> None:
+    classify(products=300, seed=1)
+    conflict()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Schema evolution kept transparent by semantic views (motivation iii).
+
+The paper: "It is important to be able to run the existing mappings
+against a view over the new schema that does not change, thus keeping
+these modifications of the sources transparent to the users."
+
+A legacy mapping was written against a flat ``Employee`` shape.  The
+target database was later re-normalized into ``Person`` + ``Job`` (and
+a ``Departed`` soft-delete table).  The legacy mapping keeps running
+unchanged because it targets the *semantic* view, and GROM rewrites it
+onto whatever the physical schema currently is.
+
+Run:  python examples/schema_evolution.py
+"""
+
+from repro import run_scenario
+from repro.datalog import view_extent
+from repro.logic.pretty import render_dependencies
+from repro.scenarios import evolution_instance, evolution_scenario
+
+
+def run(with_soft_delete: bool) -> None:
+    title = "v2 + soft-delete" if with_soft_delete else "v2 (normalized)"
+    print(f"\n== Target schema {title} ==")
+    scenario = evolution_scenario(with_soft_delete=with_soft_delete)
+    source = evolution_instance(employees=25, seed=5)
+
+    outcome = run_scenario(scenario, source)
+    assert outcome.ok, outcome.chase.failure_reason
+
+    print("The unchanged legacy mapping:")
+    print(f"  {scenario.mappings[0]}")
+    print("rewrites onto the current physical tables as:")
+    print(render_dependencies(outcome.rewrite.dependencies, unicode=False))
+
+    sizes = {r: outcome.target.size(r) for r in sorted(outcome.target.relations())}
+    print(f"\nproduced physical target: {sizes}")
+
+    extents = view_extent(scenario.target_views, outcome.target)
+    view = "ActiveEmployee" if with_soft_delete else "Employee"
+    print(f"semantic view {view}: {len(extents[view])} rows "
+          f"(= {source.size('Emp')} legacy rows)")
+    print(f"verification: {outcome.verification}")
+
+
+def main() -> None:
+    run(with_soft_delete=False)
+    run(with_soft_delete=True)
+    print(
+        "\nSame mapping, two different physical designs — the semantic\n"
+        "schema absorbed the evolution, exactly the paper's point (iii)."
+    )
+
+
+if __name__ == "__main__":
+    main()

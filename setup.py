@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so
+that environments without the ``wheel`` package (where PEP 660 editable
+installs fail) can still do ``python setup.py develop`` / legacy
+``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

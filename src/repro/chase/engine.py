@@ -1,0 +1,400 @@
+"""The standard chase: tgds, egds, mixed dependencies and denials.
+
+A Llunatic-style restricted chase over the in-memory substrate:
+
+* **tgd step** — for every premise match with no satisfied conclusion
+  (the *restricted* condition), instantiate the conclusion, inventing a
+  fresh labeled null per existential variable;
+* **egd step** — for every premise match whose equalities do not hold,
+  unify: null/term unions go through a union-find; equating two distinct
+  constants is a hard :class:`ChaseFailure`;
+* **denial step** — any premise match is a hard failure;
+* **disjunct comparisons** — a conclusion whose comparison checks fail
+  under the match cannot be satisfied, which is also a failure (the
+  greedy ded driver relies on this to discard bad branches).
+
+Rounds are delta-driven: after the first full round, premises are only
+re-evaluated against matches involving newly created facts.  Egd
+rewrites invalidate the delta bookkeeping, so a round that performed
+null rewriting forces a full re-evaluation round — simple and sound.
+
+Premise negation is rejected unless it only mentions *source* relations
+(which the chase never modifies); that is exactly the shape the rewriter
+emits when asked to unfold source premises.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ChaseError, ChaseFailure, ChaseNonTermination
+from repro.chase.result import ChaseResult, ChaseStats, ChaseStatus
+from repro.logic.atoms import Atom, Comparison, Conjunction
+from repro.logic.dependencies import Dependency, DependencyKind, Disjunct
+from repro.logic.terms import Constant, Null, NullFactory, Term, Variable
+from repro.relational.instance import Instance
+from repro.relational.query import evaluate, evaluate_delta, exists
+
+__all__ = ["ChaseConfig", "StandardChase", "chase"]
+
+
+@dataclass
+class ChaseConfig:
+    """Tunables for a chase run."""
+
+    max_rounds: int = 10_000
+    max_facts: Optional[int] = 5_000_000
+    policy: str = "restricted"
+    """``restricted`` (skip satisfied premises) or ``oblivious``
+    (fire every premise match once, regardless of satisfaction)."""
+
+    keep_working: bool = False
+    """Retain the full working instance on the result (debugging)."""
+
+
+class _NullMap:
+    """Union-find over labeled nulls, with constants as sinks."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Null, Term] = {}
+
+    def find(self, term: Term) -> Term:
+        seen: List[Null] = []
+        while isinstance(term, Null) and term in self._parent:
+            seen.append(term)
+            term = self._parent[term]
+        for null in seen[:-1]:  # path compression
+            self._parent[null] = term
+        return term
+
+    def union(self, left: Term, right: Term, context: str) -> bool:
+        """Merge the classes of two terms; returns True when a change happened.
+
+        Raises :class:`ChaseFailure` when both resolve to distinct
+        constants — the classical hard egd failure.
+        """
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root == right_root:
+            return False
+        left_null = isinstance(left_root, Null)
+        right_null = isinstance(right_root, Null)
+        if not left_null and not right_null:
+            raise ChaseFailure(
+                f"{context}: cannot equate distinct constants "
+                f"{left_root} and {right_root}"
+            )
+        if left_null and right_null:
+            # Deterministic orientation: larger id points to smaller.
+            if left_root.id < right_root.id:  # type: ignore[union-attr]
+                self._parent[right_root] = left_root  # type: ignore[index]
+            else:
+                self._parent[left_root] = right_root  # type: ignore[index]
+        elif left_null:
+            self._parent[left_root] = right_root  # type: ignore[index]
+        else:
+            self._parent[right_root] = left_root  # type: ignore[index]
+        return True
+
+    def resolution(self) -> Dict[Null, Term]:
+        return {null: self.find(null) for null in self._parent}
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+class StandardChase:
+    """Chases a set of *standard* dependencies (no deds).
+
+    The engine is reusable: :meth:`run` takes the instances and returns a
+    fresh :class:`ChaseResult` each time.
+    """
+
+    def __init__(
+        self,
+        dependencies: Sequence[Dependency],
+        source_relations: Iterable[str] = (),
+        config: Optional[ChaseConfig] = None,
+        branch_choice: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """``branch_choice`` maps a dependency's *position* in
+        ``dependencies`` to the disjunct index to enforce, turning a ded
+        into a standard dependency: satisfaction still checks **all**
+        disjuncts (so an already-satisfied ded never fires), but when the
+        ded is violated only the chosen branch is enforced.  This is how
+        the greedy ded chase derives its standard scenarios."""
+        self.dependencies = list(dependencies)
+        self.source_relations = frozenset(source_relations)
+        self.config = config or ChaseConfig()
+        self.branch_choice = dict(branch_choice or {})
+        for position, dependency in enumerate(self.dependencies):
+            if dependency.is_ded() and position not in self.branch_choice:
+                raise ChaseError(
+                    f"{dependency.describe()}: the standard chase cannot "
+                    f"handle deds without a branch choice; use "
+                    f"GreedyDedChase or DisjunctiveChase"
+                )
+            self._check_premise_negation(dependency)
+
+    def _check_premise_negation(self, dependency: Dependency) -> None:
+        for negation in dependency.premise.negations:
+            outside = negation.inner.relations() - self.source_relations
+            if outside:
+                raise ChaseError(
+                    f"{dependency.describe()}: premise negation over "
+                    f"non-source relations {sorted(outside)} is not "
+                    f"chaseable (the rewriter should have eliminated it)"
+                )
+
+    # -- public API ------------------------------------------------------------
+
+    def run(
+        self,
+        source_instance: Instance,
+        target_instance: Optional[Instance] = None,
+        null_factory: Optional[NullFactory] = None,
+    ) -> ChaseResult:
+        """Chase ``source_instance`` (plus optional pre-existing target).
+
+        Returns SUCCESS with the produced target, FAILURE when the
+        scenario is unsatisfiable, or NONTERMINATION past the budget.
+        """
+        start = time.perf_counter()
+        working = Instance()
+        for fact in source_instance:
+            working.add(fact)
+        if target_instance is not None:
+            for fact in target_instance:
+                working.add(fact)
+        factory = null_factory or NullFactory()
+        factory.advance_past(working.nulls())
+        stats = ChaseStats()
+        status = ChaseStatus.SUCCESS
+        reason = ""
+        try:
+            self._chase_rounds(working, factory, stats)
+        except ChaseFailure as failure:
+            status = ChaseStatus.FAILURE
+            reason = str(failure)
+        except ChaseNonTermination as overrun:
+            status = ChaseStatus.NONTERMINATION
+            reason = str(overrun)
+        stats.elapsed_seconds = time.perf_counter() - start
+        target = self._extract_target(working)
+        return ChaseResult(
+            status=status,
+            target=target,
+            working=working if self.config.keep_working else None,
+            stats=stats,
+            failure_reason=reason,
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _extract_target(self, working: Instance) -> Instance:
+        target = Instance()
+        for fact in working:
+            if fact.relation not in self.source_relations:
+                target.add(fact)
+        return target
+
+    def _chase_rounds(
+        self, working: Instance, factory: NullFactory, stats: ChaseStats
+    ) -> None:
+        fired_triggers: Set[Tuple[int, Tuple[Term, ...]]] = set()
+        delta: Optional[Set[Atom]] = None  # None = evaluate everything
+        while True:
+            stats.rounds += 1
+            if stats.rounds > self.config.max_rounds:
+                raise ChaseNonTermination(
+                    f"exceeded {self.config.max_rounds} chase rounds"
+                )
+            generation = working.bump_generation()
+            rewrites_this_round = 0
+            for index, dependency in enumerate(self.dependencies):
+                rewrites_this_round += self._apply_dependency(
+                    index, dependency, working, factory, stats, delta,
+                    fired_triggers,
+                )
+            new_facts = set(working.facts_since(generation))
+            if self.config.max_facts is not None and len(working) > self.config.max_facts:
+                raise ChaseNonTermination(
+                    f"exceeded {self.config.max_facts} facts"
+                )
+            if not new_facts and rewrites_this_round == 0:
+                return
+            # Null rewrites change fact identity, so the delta bookkeeping
+            # is unreliable: fall back to a full round.
+            delta = None if rewrites_this_round else new_facts
+
+    def _premise_matches(
+        self,
+        dependency: Dependency,
+        working: Instance,
+        delta: Optional[Set[Atom]],
+    ) -> List[Dict[Variable, Term]]:
+        if delta is None:
+            return evaluate(dependency.premise, working)
+        return evaluate_delta(dependency.premise, working, delta)
+
+    def _apply_dependency(
+        self,
+        index: int,
+        dependency: Dependency,
+        working: Instance,
+        factory: NullFactory,
+        stats: ChaseStats,
+        delta: Optional[Set[Atom]],
+        fired_triggers: Set[Tuple[int, Tuple[Term, ...]]],
+    ) -> int:
+        """Process one dependency for one round; returns #null-rewrites."""
+        matches = self._premise_matches(dependency, working, delta)
+        if not matches:
+            return 0
+        stats.premise_matches += len(matches)
+        if not dependency.disjuncts:  # denial
+            # A denial match is final: the premise is positive, and facts
+            # are never retracted, so the violation cannot disappear.
+            binding = matches[0]
+            raise ChaseFailure(
+                f"denial {dependency.describe()} fired at "
+                f"{_render_binding(binding)}",
+                culprit=dependency,
+            )
+        chosen = dependency.disjuncts[self.branch_choice.get(index, 0)]
+        null_map = _NullMap()
+        rewrites = 0
+        ordered = sorted(matches, key=_binding_order)
+        for binding in ordered:
+            resolved = {
+                variable: null_map.find(term) for variable, term in binding.items()
+            }
+            trigger = (
+                index,
+                tuple(resolved[v] for v in sorted(resolved)),
+            )
+            if self.config.policy == "oblivious":
+                if trigger in fired_triggers:
+                    continue
+                fired_triggers.add(trigger)
+            elif any(
+                self._disjunct_satisfied(disjunct, resolved, working)
+                for disjunct in dependency.disjuncts
+            ):
+                continue
+            self._enforce_disjunct(
+                dependency, chosen, resolved, working, factory, stats, null_map
+            )
+        if len(null_map):
+            resolution = null_map.resolution()
+            rewrites = working.apply_null_map(resolution)
+            stats.null_rewrites += rewrites
+        return rewrites
+
+    def _disjunct_satisfied(
+        self,
+        disjunct: Disjunct,
+        binding: Dict[Variable, Term],
+        working: Instance,
+    ) -> bool:
+        for equality in disjunct.equalities:
+            if _resolve(equality.left, binding) != _resolve(equality.right, binding):
+                return False
+        for comparison in disjunct.comparisons:
+            if not _ground_check(comparison, binding):
+                return False
+        if disjunct.atoms:
+            body = Conjunction(atoms=disjunct.atoms)
+            seed = {
+                v: t
+                for v, t in binding.items()
+            }
+            return exists(body, working, seed=seed)
+        return True
+
+    def _enforce_disjunct(
+        self,
+        dependency: Dependency,
+        disjunct: Disjunct,
+        binding: Dict[Variable, Term],
+        working: Instance,
+        factory: NullFactory,
+        stats: ChaseStats,
+        null_map: _NullMap,
+    ) -> None:
+        # 1. Comparisons are checks: failing means this (only) branch is
+        #    impossible, i.e. the scenario fails here.
+        for comparison in disjunct.comparisons:
+            if not _ground_check(comparison, binding):
+                raise ChaseFailure(
+                    f"{dependency.describe()}: required comparison "
+                    f"{comparison} fails at {_render_binding(binding)}",
+                    culprit=dependency,
+                )
+        # 2. Equalities unify.
+        for equality in disjunct.equalities:
+            left = _resolve(equality.left, binding)
+            right = _resolve(equality.right, binding)
+            if null_map.union(left, right, dependency.describe()):
+                stats.egd_unifications += 1
+        # 3. Atoms instantiate with fresh nulls for existentials.
+        if disjunct.atoms:
+            extended = dict(binding)
+            for atom in disjunct.atoms:
+                for variable in atom.variables():
+                    if variable not in extended:
+                        extended[variable] = factory.fresh(hint=variable.name)
+                        stats.nulls_created += 1
+            for atom in disjunct.atoms:
+                fact = Atom(
+                    atom.relation,
+                    tuple(_resolve(t, extended) for t in atom.terms),
+                )
+                if working.add(fact):
+                    stats.facts_created += 1
+            stats.tgd_fires += 1
+
+
+def _resolve(term: Term, binding: Dict[Variable, Term]) -> Term:
+    if isinstance(term, Variable):
+        value = binding.get(term)
+        if value is None:
+            raise ChaseError(f"unbound variable {term} during chase step")
+        return value
+    return term
+
+
+def _ground_check(comparison: Comparison, binding: Dict[Variable, Term]) -> bool:
+    from repro.errors import TypingError
+
+    ground = Comparison(
+        comparison.op,
+        _resolve(comparison.left, binding),
+        _resolve(comparison.right, binding),
+    )
+    try:
+        return ground.evaluate()
+    except TypingError:
+        return False
+
+
+def _binding_order(binding: Dict[Variable, Term]) -> Tuple:
+    return tuple(sorted((v.name, str(t)) for v, t in binding.items()))
+
+
+def _render_binding(binding: Dict[Variable, Term]) -> str:
+    inside = ", ".join(f"{v}={t}" for v, t in sorted(binding.items()))
+    return f"[{inside}]"
+
+
+def chase(
+    dependencies: Sequence[Dependency],
+    source_instance: Instance,
+    source_relations: Iterable[str] = (),
+    target_instance: Optional[Instance] = None,
+    config: Optional[ChaseConfig] = None,
+) -> ChaseResult:
+    """One-shot convenience wrapper around :class:`StandardChase`."""
+    engine = StandardChase(dependencies, source_relations, config)
+    return engine.run(source_instance, target_instance)

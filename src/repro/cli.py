@@ -1,0 +1,205 @@
+"""Command-line interface: the non-graphical face of GROM.
+
+The demo paper drives GROM through a GUI (mapping designer, view
+browser, rewriter, chase engine — Figure 3); this CLI exposes the same
+workflow over DSL scenario files::
+
+    grom analyze  scenario.grom      # ded prediction + problematic views
+    grom rewrite  scenario.grom      # print Σ_ST ∪ Σ_T
+    grom chase    scenario.grom      # rewrite + chase + verify
+    grom demo                        # run the paper's Section 2 example
+
+Scenario files may embed an ``instance source { ... }`` section; the
+``--csv DIR`` option loads the source instance from CSV files instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.core.analysis import predict_deds
+from repro.core.rewriter import rewrite
+from repro.dsl.parser import ParsedDocument, parse_scenario
+from repro.dsl.serializer import serialize_scenario
+from repro.logic.pretty import render_dependencies
+from repro.pipeline import run_scenario
+from repro.relational.csv_io import load_instance
+from repro.relational.instance import Instance
+from repro.reporting import Table
+
+__all__ = ["main", "build_argument_parser"]
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="grom",
+        description="GROM: rewrite and execute semantic schema mappings",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="predict deds and highlight problematic views"
+    )
+    analyze.add_argument("scenario", type=Path, help="DSL scenario file")
+
+    rewrite_cmd = subparsers.add_parser(
+        "rewrite", help="print the rewritten source-to-target dependencies"
+    )
+    rewrite_cmd.add_argument("scenario", type=Path)
+    rewrite_cmd.add_argument(
+        "--ascii", action="store_true", help="ASCII arrows instead of unicode"
+    )
+
+    chase_cmd = subparsers.add_parser(
+        "chase", help="rewrite, chase and verify a scenario end to end"
+    )
+    chase_cmd.add_argument("scenario", type=Path)
+    chase_cmd.add_argument(
+        "--csv", type=Path, default=None,
+        help="directory of <relation>.csv files for the source instance",
+    )
+    chase_cmd.add_argument(
+        "--max-scenarios", type=int, default=256,
+        help="budget for the greedy ded chase",
+    )
+    chase_cmd.add_argument(
+        "--no-verify", action="store_true", help="skip the soundness check"
+    )
+    chase_cmd.add_argument(
+        "--show-target", action="store_true", help="print the produced instance"
+    )
+
+    subparsers.add_parser("demo", help="run the paper's running example")
+
+    export = subparsers.add_parser(
+        "export-example", help="write the running example as a DSL file"
+    )
+    export.add_argument("output", type=Path)
+    return parser
+
+
+def _load(path: Path) -> ParsedDocument:
+    return parse_scenario(path.read_text())
+
+
+def _source_instance(document: ParsedDocument, csv_dir: Optional[Path]) -> Instance:
+    if csv_dir is not None:
+        return load_instance(document.scenario.source_schema, csv_dir)
+    if document.source_instance is not None:
+        return document.source_instance
+    print("warning: no source instance (empty input)", file=sys.stderr)
+    return Instance(document.scenario.source_schema)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    document = _load(args.scenario)
+    prediction = predict_deds(document.scenario)
+    print(f"scenario: {document.scenario.name}")
+    print(f"may produce deds: {'YES' if prediction.may_have_deds else 'no'}")
+    if prediction.culprits:
+        table = Table("Offending dependencies", ["dependency", "views to revisit"])
+        for origin, views in prediction.culprits.items():
+            table.add(origin, ", ".join(views))
+        table.print()
+    diagnostics = Table(
+        "View diagnostics",
+        ["view", "union", "negation", "depth", "problematic"],
+    )
+    for diagnostic in prediction.view_diagnostics.values():
+        diagnostics.add(
+            diagnostic.name,
+            diagnostic.union,
+            diagnostic.direct_negation,
+            diagnostic.negation_depth,
+            diagnostic.problematic,
+        )
+    diagnostics.print()
+    return 0
+
+
+def _cmd_rewrite(args: argparse.Namespace) -> int:
+    document = _load(args.scenario)
+    result = rewrite(document.scenario)
+    print(render_dependencies(result.dependencies, unicode=not args.ascii))
+    counts = ", ".join(f"{k}: {v}" for k, v in sorted(result.counts().items()))
+    print(f"\n{len(result.dependencies)} dependencies ({counts})")
+    if result.has_deds:
+        print(f"deds present; problematic views: {result.problematic_views()}")
+    return 0
+
+
+def _cmd_chase(args: argparse.Namespace) -> int:
+    document = _load(args.scenario)
+    source = _source_instance(document, args.csv)
+    outcome = run_scenario(
+        document.scenario,
+        source,
+        verify=not args.no_verify,
+        max_scenarios=args.max_scenarios,
+    )
+    print(f"rewriting: {outcome.rewrite!r}")
+    print(f"chase:     {outcome.chase}")
+    if outcome.chase.branch_selection:
+        print(f"branches:  {outcome.chase.branch_selection} "
+              f"(after {outcome.chase.scenarios_tried} scenarios)")
+    if outcome.verification is not None:
+        print(f"verify:    {outcome.verification}")
+    if args.show_target and outcome.chase.ok:
+        print()
+        print(outcome.target)
+    return 0 if outcome.ok else 1
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.scenarios.running_example import (
+        build_scenario,
+        generate_source_instance,
+    )
+
+    scenario = build_scenario()
+    source = generate_source_instance(products=12, seed=7, benign_name_pairs=1)
+    result = rewrite(scenario)
+    print("== Rewritten dependencies (note e0 -> the paper's ded d0) ==")
+    print(render_dependencies(result.dependencies, unicode=False))
+    outcome = run_scenario(scenario, source)
+    print()
+    print(f"chase:  {outcome.chase}")
+    print(f"verify: {outcome.verification}")
+    sizes = {r: outcome.target.size(r) for r in sorted(outcome.target.relations())}
+    print(f"target sizes: {sizes}")
+    return 0 if outcome.ok else 1
+
+
+def _cmd_export_example(args: argparse.Namespace) -> int:
+    from repro.scenarios.running_example import (
+        build_scenario,
+        generate_source_instance,
+    )
+
+    text = serialize_scenario(
+        build_scenario(),
+        source_instance=generate_source_instance(products=8, seed=0),
+    )
+    args.output.write_text(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_argument_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "analyze": _cmd_analyze,
+        "rewrite": _cmd_rewrite,
+        "chase": _cmd_chase,
+        "demo": _cmd_demo,
+        "export-example": _cmd_export_example,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

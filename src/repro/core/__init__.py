@@ -1,0 +1,37 @@
+"""The paper's primary contribution: the semantic-mapping rewriter.
+
+``core`` packages the scenario model (Section 3's inputs), the
+polarity-aware view unfolding, the rewriting algorithm producing
+tgds/egds/deds/denials over the physical schemas, the static
+ded-prediction analysis, the source-view composition reduction, and the
+end-to-end soundness verifier.
+"""
+
+from repro.core.analysis import DedPrediction, ViewDiagnostic, analyze, predict_deds
+from repro.core.compose import extend_source, materialize_source_views
+from repro.core.rewriter import AUX_PREFIX, Provenance, RewriteResult, rewrite
+from repro.core.scenario import MappingScenario
+from repro.core.verify import (
+    VerificationReport,
+    Violation,
+    semantic_target,
+    verify_solution,
+)
+
+__all__ = [
+    "MappingScenario",
+    "rewrite",
+    "RewriteResult",
+    "Provenance",
+    "AUX_PREFIX",
+    "predict_deds",
+    "analyze",
+    "DedPrediction",
+    "ViewDiagnostic",
+    "extend_source",
+    "materialize_source_views",
+    "verify_solution",
+    "VerificationReport",
+    "Violation",
+    "semantic_target",
+]

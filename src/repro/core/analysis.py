@@ -1,0 +1,229 @@
+"""Static ded-prediction and problematic-view highlighting.
+
+Section 3 of the paper: *"sufficient conditions to avoid the use of deds
+in the output mappings have been identified under the form of
+restrictions on the use of negations in view definitions.  As a
+consequence, the system is able to look at the view definitions and tell
+whether the rewritten mappings may contain deds or not."*  And Section 4:
+*"GROM supports this process by highlighting problematic views."*
+
+This module reconstructs that analysis.  It mirrors the rewriter's moves
+symbolically — without building dependencies — and decides, per mapping
+and per constraint, whether the rewriting **may** produce deds:
+
+* an egd over views produces a ded as soon as its premise expansion
+  exposes *any* negation (the equality disjunct plus at least one moved
+  NEC ≥ 2 disjuncts — exactly the ``e0 → d0`` pattern);
+* a mapping produces a ded when its conclusion expands to several
+  branches (a union view used positively), or when eliminating nested
+  negation yields a requirement with two or more alternatives
+  (a NEC whose interior carries ≥ 2 negations after expansion).
+
+The prediction is *sound for ded-freeness*: when it reports "no deds",
+the rewriting is guaranteed ded-free.  (In rare corner cases a predicted
+ded can collapse during simplification — the paper's phrasing "may
+contain deds" allows exactly this conservatism.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.scenario import MappingScenario
+from repro.core.unfold import expand_conjunction
+from repro.logic.atoms import Conjunction, NegatedConjunction
+from repro.logic.terms import VariableFactory
+
+__all__ = ["DedPrediction", "ViewDiagnostic", "predict_deds", "analyze"]
+
+
+@dataclass(frozen=True)
+class ViewDiagnostic:
+    """Per-view facts relevant to ded generation."""
+
+    name: str
+    union: bool
+    direct_negation: bool
+    negation_depth: int
+    problematic: bool
+    reasons: Tuple[str, ...] = ()
+
+
+@dataclass
+class DedPrediction:
+    """Outcome of the static analysis."""
+
+    may_have_deds: bool
+    culprits: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    """Per offending mapping/constraint: the views to blame."""
+
+    view_diagnostics: Dict[str, ViewDiagnostic] = field(default_factory=dict)
+
+    def problematic_views(self) -> List[str]:
+        out: List[str] = []
+        for views in self.culprits.values():
+            for view in views:
+                if view not in out:
+                    out.append(view)
+        return out
+
+
+def _branch_nec_info(
+    conjunction: Conjunction,
+) -> Tuple[int, bool]:
+    """(number of NECs, whether enforcing them recursively needs a ded).
+
+    ``conjunction`` is a base-level expansion branch.  Enforcing the
+    branch *positively* spawns one companion denial per NEC; a companion
+    denial over a premise with ``k`` NECs becomes a ``k``-disjunct
+    dependency after the premise NECs move to the conclusion — a ded for
+    ``k ≥ 2``.  Each moved NEC is then enforced positively in turn.
+    """
+    necs = conjunction.negations
+    nested_ded = False
+    for nec in necs:
+        inner_count, inner_ded = _branch_nec_info(nec.inner)
+        if inner_count >= 2 or inner_ded:
+            nested_ded = True
+    return len(necs), nested_ded
+
+
+def _positive_enforcement_needs_ded(branches) -> Tuple[bool, List[str]]:
+    """Whether asserting a conclusion (DNF of branches) may yield a ded."""
+    reasons: List[str] = []
+    if len(branches) >= 2:
+        reasons.append("union view in conclusion")
+        culprit_views = [v for b in branches for v in b.provenance]
+        return True, list(dict.fromkeys(culprit_views))
+    needs = False
+    culprits: List[str] = []
+    for branch in branches:
+        _count, nested = _branch_nec_info(branch.conjunction)
+        if nested:
+            needs = True
+            culprits.extend(branch.provenance)
+    return needs, list(dict.fromkeys(culprits))
+
+
+def _negative_premise_needs_ded(branches, baseline_disjuncts: int) -> Tuple[bool, List[str]]:
+    """Whether a constraint premise expansion may yield a ded.
+
+    ``baseline_disjuncts`` is the number of conclusion disjuncts the
+    constraint already has (1 for an egd, 0 for a denial).  Every NEC in
+    a premise branch adds one disjunct; more than one total ⇒ ded.
+    Moved NECs are then enforced positively, which can itself demand
+    deds (nested negation with fan-out ≥ 2).
+    """
+    needs = False
+    culprits: List[str] = []
+    for branch in branches:
+        count, nested = _branch_nec_info(branch.conjunction)
+        if count + baseline_disjuncts >= 2 or nested:
+            needs = True
+            culprits.extend(branch.provenance)
+    return needs, list(dict.fromkeys(culprits))
+
+
+def _view_diagnostics(scenario: MappingScenario) -> Dict[str, ViewDiagnostic]:
+    out: Dict[str, ViewDiagnostic] = {}
+    for program in (scenario.source_views, scenario.target_views):
+        if program is None:
+            continue
+        for name in program.view_names():
+            rules = program.rules_for(name)
+            depth = max(rule.body.negation_depth() for rule in rules)
+            out[name] = ViewDiagnostic(
+                name=name,
+                union=program.is_union_view(name),
+                direct_negation=any(rule.body.negations for rule in rules),
+                negation_depth=depth,
+                problematic=False,
+            )
+    return out
+
+
+def predict_deds(scenario: MappingScenario) -> DedPrediction:
+    """Static prediction of whether rewriting ``scenario`` may yield deds.
+
+    Runs the same symbolic expansion the rewriter uses (no instance data
+    involved) and applies the disjunct-counting rules described in the
+    module docstring.
+    """
+    factory = VariableFactory(prefix="a")
+    prediction = DedPrediction(may_have_deds=False)
+    diagnostics = _view_diagnostics(scenario)
+
+    for mapping in scenario.mappings:
+        conclusion = mapping.disjuncts[0]
+        branches = expand_conjunction(
+            Conjunction(atoms=conclusion.atoms, comparisons=conclusion.comparisons),
+            scenario.target_views,
+            factory,
+        )
+        needs, culprits = _positive_enforcement_needs_ded(branches)
+        if needs:
+            prediction.may_have_deds = True
+            prediction.culprits[mapping.describe()] = tuple(culprits)
+
+    for constraint in scenario.target_constraints:
+        branches = expand_conjunction(
+            constraint.premise, scenario.target_views, factory
+        )
+        baseline = len(constraint.disjuncts)
+        needs, culprits = _negative_premise_needs_ded(branches, baseline)
+        # tgd-style constraints (foreign keys over the semantic schema)
+        # additionally enforce view atoms positively, like mapping
+        # conclusions: union fan-out or nested negation there also means
+        # deds.
+        for original in constraint.disjuncts:
+            if not original.atoms:
+                continue
+            conclusion_branches = expand_conjunction(
+                Conjunction(atoms=original.atoms),
+                scenario.target_views,
+                factory,
+            )
+            c_needs, c_culprits = _positive_enforcement_needs_ded(
+                conclusion_branches
+            )
+            if c_needs:
+                needs = True
+                culprits = list(
+                    dict.fromkeys(tuple(culprits) + tuple(c_culprits))
+                )
+        if needs:
+            prediction.may_have_deds = True
+            prediction.culprits[constraint.describe()] = tuple(culprits)
+
+    blamed = set(prediction.problematic_views())
+    for name, diagnostic in diagnostics.items():
+        reasons: List[str] = []
+        if name in blamed:
+            if diagnostic.union:
+                reasons.append("defined as a union")
+            if diagnostic.direct_negation or diagnostic.negation_depth:
+                reasons.append("uses negation")
+        prediction.view_diagnostics[name] = ViewDiagnostic(
+            name=name,
+            union=diagnostic.union,
+            direct_negation=diagnostic.direct_negation,
+            negation_depth=diagnostic.negation_depth,
+            problematic=name in blamed,
+            reasons=tuple(reasons),
+        )
+    return prediction
+
+
+def analyze(scenario: MappingScenario) -> Tuple[DedPrediction, "RewriteResult"]:
+    """Full report: static prediction cross-checked against actual rewriting.
+
+    Returns the prediction and the :class:`RewriteResult`; the prediction
+    is sound, so ``prediction.may_have_deds`` is ``True`` whenever
+    ``result.has_deds`` is.
+    """
+    from repro.core.rewriter import rewrite
+
+    prediction = predict_deds(scenario)
+    result = rewrite(scenario)
+    return prediction, result

@@ -1,0 +1,46 @@
+"""The paper's "Variants of the Problem" reduction (Section 3).
+
+When both a source and a target semantic schema exist, GROM reduces the
+general semantic-to-semantic problem to the source-to-semantic one by
+composing two steps: (i) apply the source view definitions to the source
+instance, materializing ``Υ_S(I_S)``; (ii) treat the materialized
+instance as a new source database.  :func:`extend_source` implements
+step (i); the chase then runs over the returned instance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scenario import MappingScenario
+from repro.datalog.evaluate import materialize
+from repro.relational.instance import Instance
+
+__all__ = ["extend_source", "materialize_source_views"]
+
+
+def materialize_source_views(
+    scenario: MappingScenario, source_instance: Instance
+) -> Instance:
+    """``Υ_S(I_S)``: just the source view extents (no base facts)."""
+    if scenario.source_views is None:
+        return Instance()
+    return materialize(scenario.source_views, source_instance)
+
+
+def extend_source(
+    scenario: MappingScenario, source_instance: Instance
+) -> Instance:
+    """``I_S ∪ Υ_S(I_S)``: the instance mapping premises evaluate against.
+
+    Without source views this is a plain copy (schema dropped, since the
+    chase working instance mixes vocabularies).
+    """
+    extended = Instance()
+    for fact in source_instance:
+        extended.add(fact)
+    if scenario.source_views is not None:
+        materialized = materialize(scenario.source_views, source_instance)
+        for fact in materialized:
+            extended.add(fact)
+    return extended

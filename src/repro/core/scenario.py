@@ -1,0 +1,177 @@
+"""Mapping scenarios: the full input of the GROM rewriting problem.
+
+A :class:`MappingScenario` packages exactly the inputs enumerated in
+Section 3 of the paper:
+
+* a source relational schema ``S`` and a target relational schema ``T``;
+* a source semantic schema ``V_S`` and a target semantic schema ``V_T``,
+  given as view programs ``Υ_S``, ``Υ_T`` (either may be absent —
+  the running example only has a target semantic schema);
+* a set of target constraints ``Σ_{V_T}`` (egds over the semantic
+  schema, e.g. keys and functional dependencies);
+* the mapping ``Σ_{V_S,V_T}``: source-to-semantic / semantic-to-semantic
+  s-t tgds with comparison atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.datalog.program import ViewProgram
+from repro.errors import SchemaError, UnsafeDependencyError
+from repro.logic.atoms import Conjunction
+from repro.logic.dependencies import Dependency, DependencyKind
+from repro.relational.schema import Schema
+
+__all__ = ["MappingScenario"]
+
+
+class MappingScenario:
+    """The input of the rewriting problem (Figure 2 of the paper)."""
+
+    def __init__(
+        self,
+        source_schema: Schema,
+        target_schema: Schema,
+        mappings: Sequence[Dependency],
+        target_views: Optional[ViewProgram] = None,
+        source_views: Optional[ViewProgram] = None,
+        target_constraints: Sequence[Dependency] = (),
+        name: str = "scenario",
+    ) -> None:
+        self.name = name
+        self.source_schema = source_schema
+        self.target_schema = target_schema
+        self.source_views = source_views
+        self.target_views = target_views
+        self.mappings: List[Dependency] = list(mappings)
+        self.target_constraints: List[Dependency] = list(target_constraints)
+        self.validate()
+
+    # -- vocabularies ------------------------------------------------------
+
+    def source_vocabulary(self) -> Set[str]:
+        """Relations a mapping premise may mention: source tables + views."""
+        names = set(self.source_schema.relation_names())
+        if self.source_views is not None:
+            names.update(self.source_views.view_names())
+        return names
+
+    def target_vocabulary(self) -> Set[str]:
+        """Relations a conclusion / constraint may mention."""
+        names = set(self.target_schema.relation_names())
+        if self.target_views is not None:
+            names.update(self.target_views.view_names())
+        return names
+
+    def target_view_names(self) -> Set[str]:
+        return set(self.target_views.view_names()) if self.target_views else set()
+
+    def source_view_names(self) -> Set[str]:
+        return set(self.source_views.view_names()) if self.source_views else set()
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check vocabulary discipline and dependency shapes.
+
+        Mappings must be s-t tgds: premises over the source vocabulary,
+        conclusions over the target vocabulary.  Target constraints must be
+        egds, denials, or tgds entirely over the target vocabulary — the
+        tgd form covers the foreign-key / inclusion dependencies the
+        paper's footnote 1 refers to ("previous papers discuss how to
+        handle foreign-key constraints as well").
+        """
+        if self.source_views is not None:
+            if self.source_views.base_schema is not self.source_schema:
+                raise SchemaError(
+                    "source views must be defined over the source schema"
+                )
+            self.source_views.validate()
+        if self.target_views is not None:
+            if self.target_views.base_schema is not self.target_schema:
+                raise SchemaError(
+                    "target views must be defined over the target schema"
+                )
+            self.target_views.validate()
+
+        source_vocab = self.source_vocabulary()
+        target_vocab = self.target_vocabulary()
+
+        for mapping in self.mappings:
+            if mapping.kind is not DependencyKind.TGD:
+                raise UnsafeDependencyError(
+                    f"mapping {mapping.describe()} must be a tgd, got "
+                    f"{mapping.kind}"
+                )
+            mapping.check_safety()
+            self._check_vocabulary(
+                mapping.premise, source_vocab, mapping.describe(), "premise"
+            )
+            for disjunct in mapping.disjuncts:
+                unknown = disjunct.relations() - target_vocab
+                if unknown:
+                    raise SchemaError(
+                        f"mapping {mapping.describe()} concludes over unknown "
+                        f"target relations {sorted(unknown)}"
+                    )
+
+        for constraint in self.target_constraints:
+            if constraint.kind not in (
+                DependencyKind.EGD,
+                DependencyKind.DENIAL,
+                DependencyKind.TGD,
+                DependencyKind.MIXED,
+            ):
+                raise UnsafeDependencyError(
+                    f"target constraint {constraint.describe()} must be an "
+                    f"egd, denial or tgd (foreign key / inclusion "
+                    f"dependency), got {constraint.kind}"
+                )
+            constraint.check_safety()
+            self._check_vocabulary(
+                constraint.premise,
+                target_vocab,
+                constraint.describe(),
+                "premise",
+            )
+            for disjunct in constraint.disjuncts:
+                unknown = disjunct.relations() - target_vocab
+                if unknown:
+                    raise SchemaError(
+                        f"constraint {constraint.describe()} concludes over "
+                        f"unknown target relations {sorted(unknown)}"
+                    )
+
+    @staticmethod
+    def _check_vocabulary(
+        conjunction: Conjunction, vocabulary: Set[str], who: str, where: str
+    ) -> None:
+        unknown = conjunction.relations() - vocabulary
+        if unknown:
+            raise SchemaError(
+                f"{who}: {where} mentions unknown relations {sorted(unknown)}"
+            )
+
+    # -- convenience ------------------------------------------------------------
+
+    def uses_source_views(self) -> bool:
+        """Whether any mapping premise mentions a source view."""
+        if self.source_views is None:
+            return False
+        view_names = self.source_view_names()
+        return any(
+            mapping.premise.relations() & view_names for mapping in self.mappings
+        )
+
+    def constraint_names(self) -> List[str]:
+        return [c.describe() for c in self.target_constraints]
+
+    def mapping_names(self) -> List[str]:
+        return [m.describe() for m in self.mappings]
+
+    def __repr__(self) -> str:
+        return (
+            f"MappingScenario({self.name!r}, {len(self.mappings)} mappings, "
+            f"{len(self.target_constraints)} constraints)"
+        )

@@ -1,0 +1,176 @@
+"""Polarity-aware view expansion (unfolding) to base-level formulas.
+
+Unfolding replaces view atoms by their definitions until only base
+(physical) relations remain.  With conjunctive views this is the classic
+view-unfolding algorithm; the complications the paper is about arise
+from the richer language:
+
+* a view defined by several rules (**union**) expands, under positive
+  polarity, to a *disjunction* of alternatives — the expansion of a
+  conjunction is therefore a DNF, a list of :class:`ExpansionBranch`;
+* a **negated** view atom expands to the negation of that disjunction,
+  i.e. a conjunction of *negated existential conjunctions* (NECs), each
+  of which may itself contain nested NECs (negation over derived atoms
+  nests arbitrarily, as in the running example's ``UnpopularProduct``);
+* constants and repeated variables in rule heads surface as equality
+  comparisons on the branch.
+
+Every branch records the views that were inlined to produce it
+(*provenance*), which is what lets the analysis module point at the
+"problematic views" the paper's GUI highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.datalog.program import ViewProgram
+from repro.logic.atoms import (
+    Atom,
+    Comparison,
+    Conjunction,
+    NegatedConjunction,
+)
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Term, Variable, VariableFactory
+
+__all__ = ["ExpansionBranch", "expand_conjunction", "expand_atom", "expand_negation"]
+
+
+@dataclass(frozen=True)
+class ExpansionBranch:
+    """One alternative of a DNF expansion.
+
+    ``conjunction`` only mentions base relations (at every polarity and
+    nesting depth); ``provenance`` names the views inlined along the way,
+    in inlining order (with repetition collapsed).
+    """
+
+    conjunction: Conjunction
+    provenance: Tuple[str, ...] = ()
+
+    def extend(self, other: "ExpansionBranch") -> "ExpansionBranch":
+        provenance = self.provenance + tuple(
+            p for p in other.provenance if p not in self.provenance
+        )
+        return ExpansionBranch(
+            self.conjunction.extend(other.conjunction), provenance
+        )
+
+
+def _bind_head(
+    rule_head: Atom, atom: Atom
+) -> Optional[Tuple[Substitution, Tuple[Comparison, ...]]]:
+    """Match a rule head against the view atom being unfolded.
+
+    Returns the substitution sending head variables to the atom's terms,
+    plus equality comparisons for repeated head variables and head
+    constants met by outer variables.  Returns ``None`` when a head
+    constant clashes with a constant in the atom (the rule cannot
+    contribute).
+    """
+    mapping = {}
+    comparisons: List[Comparison] = []
+    for head_term, actual in zip(rule_head.terms, atom.terms):
+        if isinstance(head_term, Variable):
+            bound = mapping.get(head_term)
+            if bound is None:
+                mapping[head_term] = actual
+            elif bound != actual:
+                comparisons.append(Comparison("=", bound, actual))
+        else:  # constant in the rule head
+            if isinstance(actual, Variable):
+                comparisons.append(Comparison("=", actual, head_term))
+            elif actual != head_term:
+                return None
+    return Substitution(mapping), tuple(comparisons)
+
+
+def expand_atom(
+    atom: Atom,
+    program: Optional[ViewProgram],
+    factory: VariableFactory,
+) -> List[ExpansionBranch]:
+    """Expand a single atom to base level.
+
+    Base atoms pass through unchanged; view atoms produce one branch per
+    rule (standardized apart), recursively expanding the rule body.
+    """
+    if program is None or not program.is_view(atom.relation):
+        return [ExpansionBranch(Conjunction(atoms=(atom,)))]
+    branches: List[ExpansionBranch] = []
+    for rule in program.rules_for(atom.relation):
+        binding = _bind_head(rule.head, atom)
+        if binding is None:
+            continue
+        head_sub, head_comparisons = binding
+        # Standardize the body's local variables apart.
+        locals_ = rule.body.variables() - frozenset(rule.head.variables())
+        renaming = {v: factory.fresh(hint=v.name) for v in sorted(locals_)}
+        full_sub = head_sub.merge(Substitution(renaming))
+        assert full_sub is not None  # domains are disjoint by construction
+        bound_body = full_sub.apply_conjunction(rule.body)
+        for inner in expand_conjunction(bound_body, program, factory):
+            conjunction = inner.conjunction.extend(
+                Conjunction(comparisons=head_comparisons)
+            )
+            provenance = (atom.relation,) + tuple(
+                p for p in inner.provenance if p != atom.relation
+            )
+            branches.append(ExpansionBranch(conjunction, provenance))
+    return branches
+
+
+def expand_negation(
+    negation: NegatedConjunction,
+    program: Optional[ViewProgram],
+    factory: VariableFactory,
+) -> Tuple[List[NegatedConjunction], Tuple[str, ...]]:
+    """Expand a negated conjunction to base level.
+
+    ``¬(B1 ∨ ... ∨ Bk)`` distributes into ``¬B1 ∧ ... ∧ ¬Bk``: the
+    expansion of the inner conjunction (a DNF) yields one NEC per branch.
+    Nested negation inside the branches is preserved — this is where the
+    arbitrary nesting of the paper's language lives.
+    """
+    inner_branches = expand_conjunction(negation.inner, program, factory)
+    necs: List[NegatedConjunction] = []
+    provenance: List[str] = []
+    for branch in inner_branches:
+        necs.append(NegatedConjunction(branch.conjunction))
+        for view in branch.provenance:
+            if view not in provenance:
+                provenance.append(view)
+    return necs, tuple(provenance)
+
+
+def expand_conjunction(
+    conjunction: Conjunction,
+    program: Optional[ViewProgram],
+    factory: VariableFactory,
+) -> List[ExpansionBranch]:
+    """Expand a conjunction to a base-level DNF.
+
+    The result is the cross product of the per-atom expansions (union
+    views multiply branches), with the conjunction's comparisons carried
+    onto every branch and its negations expanded via
+    :func:`expand_negation`.
+    """
+    results = [ExpansionBranch(Conjunction(comparisons=conjunction.comparisons))]
+    for atom in conjunction.atoms:
+        atom_branches = expand_atom(atom, program, factory)
+        results = [
+            accumulated.extend(branch)
+            for accumulated in results
+            for branch in atom_branches
+        ]
+        if not results:
+            return []
+    for negation in conjunction.negations:
+        necs, provenance = expand_negation(negation, program, factory)
+        addition = ExpansionBranch(
+            Conjunction(negations=tuple(necs)), provenance
+        )
+        results = [accumulated.extend(addition) for accumulated in results]
+    return results

@@ -1,0 +1,195 @@
+"""End-to-end soundness verification.
+
+The paper's correctness contract for the rewriting is *soundness*:
+whenever the rewritten dependencies ``Σ_ST ∪ Σ_T`` admit a universal
+solution ``J_T`` over ``I_S``, then ``Υ_T(J_T)`` is a solution for the
+original semantic scenario.  This module checks exactly that, given a
+produced target instance:
+
+* every mapping tgd of the scenario is satisfied by
+  ``I_S ∪ Υ_S(I_S)`` versus ``J_T ∪ Υ_T(J_T)``;
+* every target constraint (egd/denial over the semantic schema) is
+  satisfied by ``Υ_T(J_T)``.
+
+The verifier is used by the integration tests and by the property-based
+soundness suite; it is also exported so downstream users can audit runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.compose import extend_source
+from repro.core.scenario import MappingScenario
+from repro.datalog.evaluate import materialize
+from repro.logic.atoms import Conjunction
+from repro.logic.dependencies import Dependency
+from repro.logic.terms import Term, Variable
+from repro.relational.instance import Instance
+from repro.relational.query import evaluate, exists
+
+__all__ = ["Violation", "VerificationReport", "verify_solution", "semantic_target"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One unsatisfied premise match of a dependency."""
+
+    dependency: str
+    binding: Tuple[Tuple[Variable, Term], ...]
+    reason: str
+
+    def __str__(self) -> str:
+        assignment = ", ".join(f"{v}={t}" for v, t in self.binding)
+        return f"{self.dependency} violated at [{assignment}]: {self.reason}"
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_solution`."""
+
+    ok: bool
+    violations: List[Violation] = field(default_factory=list)
+    mappings_checked: int = 0
+    constraints_checked: int = 0
+    premise_matches: int = 0
+
+    def __str__(self) -> str:
+        if self.ok:
+            return (
+                f"OK ({self.mappings_checked} mappings, "
+                f"{self.constraints_checked} constraints, "
+                f"{self.premise_matches} premise matches)"
+            )
+        lines = [f"FAILED with {len(self.violations)} violations:"]
+        lines += [f"  {v}" for v in self.violations[:10]]
+        if len(self.violations) > 10:
+            lines.append(f"  ... {len(self.violations) - 10} more")
+        return "\n".join(lines)
+
+
+def semantic_target(
+    scenario: MappingScenario, target_instance: Instance
+) -> Instance:
+    """``J_T ∪ Υ_T(J_T)``: the semantic view of a produced target."""
+    combined = Instance()
+    for fact in target_instance:
+        combined.add(fact)
+    if scenario.target_views is not None:
+        for fact in materialize(scenario.target_views, target_instance):
+            combined.add(fact)
+    return combined
+
+
+def _check_tgd(
+    dependency: Dependency,
+    source_side: Instance,
+    target_side: Instance,
+    violations: List[Violation],
+    max_violations: int,
+) -> int:
+    matches = evaluate(dependency.premise, source_side)
+    frontier = dependency.frontier()
+    for binding in matches:
+        satisfied = False
+        for disjunct in dependency.disjuncts:
+            seed = {v: t for v, t in binding.items() if v in frontier}
+            body = Conjunction(
+                atoms=disjunct.atoms, comparisons=disjunct.comparisons
+            )
+            equalities_ok = all(
+                _resolve(e.left, binding) == _resolve(e.right, binding)
+                for e in disjunct.equalities
+            )
+            if equalities_ok and exists(body, target_side, seed=seed):
+                satisfied = True
+                break
+        if not satisfied and len(violations) < max_violations:
+            violations.append(
+                Violation(
+                    dependency.describe(),
+                    tuple(sorted(binding.items())),
+                    "no conclusion disjunct satisfied",
+                )
+            )
+    return len(matches)
+
+
+def _resolve(term, binding):
+    if isinstance(term, Variable):
+        return binding.get(term, term)
+    return term
+
+
+def _check_constraint(
+    dependency: Dependency,
+    target_side: Instance,
+    violations: List[Violation],
+    max_violations: int,
+) -> int:
+    matches = evaluate(dependency.premise, target_side)
+    for binding in matches:
+        if not dependency.disjuncts:
+            if len(violations) < max_violations:
+                violations.append(
+                    Violation(
+                        dependency.describe(),
+                        tuple(sorted(binding.items())),
+                        "denial premise matched",
+                    )
+                )
+            continue
+        satisfied = False
+        for disjunct in dependency.disjuncts:
+            equalities_ok = all(
+                _resolve(e.left, binding) == _resolve(e.right, binding)
+                for e in disjunct.equalities
+            )
+            body = Conjunction(
+                atoms=disjunct.atoms, comparisons=disjunct.comparisons
+            )
+            if equalities_ok and exists(body, target_side, seed=binding):
+                satisfied = True
+                break
+        if not satisfied and len(violations) < max_violations:
+            violations.append(
+                Violation(
+                    dependency.describe(),
+                    tuple(sorted(binding.items())),
+                    "constraint conclusion not satisfied",
+                )
+            )
+    return len(matches)
+
+
+def verify_solution(
+    scenario: MappingScenario,
+    source_instance: Instance,
+    target_instance: Instance,
+    max_violations: int = 100,
+) -> VerificationReport:
+    """Check that ``target_instance`` solves the original semantic scenario.
+
+    ``target_instance`` should contain physical target facts (auxiliary
+    ``_grom_req_*`` relations, if present, are ignored by virtue of not
+    being mentioned in the scenario's dependencies).
+    """
+    report = VerificationReport(ok=True)
+    source_side = extend_source(scenario, source_instance)
+    target_side = semantic_target(scenario, target_instance)
+
+    for mapping in scenario.mappings:
+        report.premise_matches += _check_tgd(
+            mapping, source_side, target_side, report.violations, max_violations
+        )
+        report.mappings_checked += 1
+
+    for constraint in scenario.target_constraints:
+        report.premise_matches += _check_constraint(
+            constraint, target_side, report.violations, max_violations
+        )
+        report.constraints_checked += 1
+
+    report.ok = not report.violations
+    return report

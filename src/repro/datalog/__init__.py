@@ -1,0 +1,31 @@
+"""Non-recursive Datalog with negation: the view-definition language.
+
+The paper adopts this language for semantic-schema definitions because
+conjunctive views cannot express disjointness constraints and
+classification rules.  This package defines programs (:class:`Rule`,
+:class:`ViewProgram`), their dependency analysis (stratification,
+recursion check) and bottom-up materialization ``Υ(I)``.
+"""
+
+from repro.datalog.evaluate import evaluate_view, materialize, view_extent
+from repro.datalog.program import Rule, ViewProgram
+from repro.datalog.stratify import (
+    check_nonrecursive,
+    depends_on,
+    evaluation_order,
+    predicate_graph,
+    strata,
+)
+
+__all__ = [
+    "Rule",
+    "ViewProgram",
+    "check_nonrecursive",
+    "depends_on",
+    "evaluation_order",
+    "predicate_graph",
+    "strata",
+    "materialize",
+    "evaluate_view",
+    "view_extent",
+]

@@ -1,0 +1,195 @@
+"""Non-recursive Datalog with negation: rules, views and programs.
+
+View definitions in GROM are written in non-recursive Datalog with
+negation — the language the paper adopts because conjunctive views are
+"unable to capture many semantic relationships between the data".  A
+:class:`ViewProgram` holds the view definitions of one semantic schema
+(``Υ_S`` or ``Υ_T``): several rules per head predicate are allowed and
+mean union; bodies may negate base *and* derived predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import DatalogError, UnknownPredicateError, UnsafeDependencyError
+from repro.logic.atoms import Atom, Conjunction
+from repro.logic.terms import Variable
+from repro.relational.schema import Schema
+
+__all__ = ["Rule", "ViewProgram"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Datalog rule ``head ⇐ body``.
+
+    The head must be an atom whose terms are all distinct variables or
+    constants; body variables not in the head are existential.
+    """
+
+    head: Atom
+    body: Conjunction
+    name: str = ""
+
+    def head_variables(self) -> FrozenSet[Variable]:
+        return frozenset(self.head.variables())
+
+    def existential_variables(self) -> FrozenSet[Variable]:
+        """Body variables that do not occur in the head."""
+        return self.body.variables() - self.head_variables()
+
+    def check_safety(self) -> None:
+        """Head and comparison variables must be positively bound.
+
+        Negation variables may be local to their negation (existential)
+        — that is the standard safety condition for stratified Datalog.
+        """
+        positive = self.body.positive_variables()
+        for variable in self.head.variables():
+            if variable not in positive:
+                raise UnsafeDependencyError(
+                    f"rule for {self.head.relation}: head variable {variable} "
+                    f"is not bound by a positive body atom"
+                )
+        for comparison in self.body.comparisons:
+            for variable in comparison.variables():
+                if variable not in positive:
+                    raise UnsafeDependencyError(
+                        f"rule for {self.head.relation}: comparison variable "
+                        f"{variable} is not bound by a positive body atom"
+                    )
+
+    def body_predicates(self) -> FrozenSet[str]:
+        """All predicates referenced in the body, at any depth."""
+        return self.body.relations()
+
+    def positive_body_predicates(self) -> FrozenSet[str]:
+        return frozenset(a.relation for a in self.body.atoms)
+
+    def negated_body_predicates(self) -> FrozenSet[str]:
+        """Predicates occurring under a negation at any depth."""
+        out: Set[str] = set()
+
+        def collect(conjunction: Conjunction, under_negation: bool) -> None:
+            if under_negation:
+                out.update(a.relation for a in conjunction.atoms)
+            for negation in conjunction.negations:
+                collect(negation.inner, True)
+
+        collect(self.body, False)
+        return frozenset(out)
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{self.head} <= {self.body}"
+
+
+class ViewProgram:
+    """The view definitions of one semantic schema.
+
+    The program maps each *derived* predicate (view name) to its rules.
+    Base predicates are the relations of the underlying physical schema.
+    Construction enforces: no view may shadow a base relation, all rules
+    for a view must agree on arity, every body predicate must be either
+    base or derived, and the program must be non-recursive (checked via
+    :mod:`repro.datalog.stratify` at validation time).
+    """
+
+    def __init__(self, base_schema: Schema, rules: Iterable[Rule] = ()) -> None:
+        self.base_schema = base_schema
+        self._rules: List[Rule] = []
+        self._by_head: Dict[str, List[Rule]] = {}
+        for rule in rules:
+            self.add(rule)
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, rule: Rule) -> "ViewProgram":
+        head_name = rule.head.relation
+        if head_name in self.base_schema:
+            raise DatalogError(
+                f"view {head_name!r} shadows a base relation of schema "
+                f"{self.base_schema.name!r}"
+            )
+        existing = self._by_head.get(head_name)
+        if existing and existing[0].head.arity != rule.head.arity:
+            raise DatalogError(
+                f"view {head_name!r} defined with inconsistent arities "
+                f"({existing[0].head.arity} vs {rule.head.arity})"
+            )
+        rule.check_safety()
+        self._rules.append(rule)
+        self._by_head.setdefault(head_name, []).append(rule)
+        return self
+
+    def define(self, head: Atom, body: Conjunction, name: str = "") -> Rule:
+        """Convenience: build, validate and register a rule."""
+        rule = Rule(head, body, name)
+        self.add(rule)
+        return rule
+
+    # -- lookup ---------------------------------------------------------------
+
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        return tuple(self._rules)
+
+    def view_names(self) -> List[str]:
+        return list(self._by_head)
+
+    def is_view(self, name: str) -> bool:
+        return name in self._by_head
+
+    def is_base(self, name: str) -> bool:
+        return name in self.base_schema
+
+    def rules_for(self, name: str) -> Tuple[Rule, ...]:
+        if name not in self._by_head:
+            raise UnknownPredicateError(name)
+        return tuple(self._by_head[name])
+
+    def arity_of(self, name: str) -> int:
+        if self.is_view(name):
+            return self._by_head[name][0].head.arity
+        return self.base_schema.arity(name)
+
+    def is_union_view(self, name: str) -> bool:
+        """True when the view is defined by more than one rule."""
+        return len(self._by_head.get(name, ())) > 1
+
+    def has_negation(self, name: str) -> bool:
+        """True when some rule of this view negates anything directly."""
+        return any(rule.body.negations for rule in self.rules_for(name))
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check predicate references and non-recursiveness.
+
+        Raises :class:`UnknownPredicateError` for undefined predicates and
+        :class:`RecursionError_` (via stratify) for recursive programs.
+        """
+        from repro.datalog.stratify import check_nonrecursive
+
+        for rule in self._rules:
+            for predicate in rule.body_predicates():
+                if not (self.is_base(predicate) or self.is_view(predicate)):
+                    raise UnknownPredicateError(predicate)
+        check_nonrecursive(self)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self._rules)
+
+    def __repr__(self) -> str:
+        return (
+            f"ViewProgram({len(self._by_head)} views, {len(self._rules)} rules "
+            f"over {self.base_schema.name!r})"
+        )

@@ -1,0 +1,33 @@
+"""Textual scenario format: the file-format backbone of the GUI designer.
+
+The paper's mapping designer and view browser manipulate schemas, view
+programs, mappings and constraints; this package gives those objects a
+durable, human-writable syntax with a parser and a round-tripping
+serializer.
+"""
+
+from repro.dsl.lexer import Token, TokenKind, tokenize
+from repro.dsl.parser import (
+    ParsedDocument,
+    parse_dependency,
+    parse_rule_body,
+    parse_scenario,
+)
+from repro.dsl.serializer import (
+    serialize_dependency,
+    serialize_instance,
+    serialize_scenario,
+)
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenKind",
+    "parse_scenario",
+    "parse_dependency",
+    "parse_rule_body",
+    "ParsedDocument",
+    "serialize_scenario",
+    "serialize_dependency",
+    "serialize_instance",
+]

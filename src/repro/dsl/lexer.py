@@ -1,0 +1,115 @@
+"""Tokenizer for the GROM scenario language.
+
+The textual format covers everything the paper's graphical mapping
+designer manipulates: schemas, view programs, mappings, constraints and
+instances.  See :mod:`repro.dsl.parser` for the grammar.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "TokenKind", "tokenize"]
+
+
+class TokenKind:
+    IDENT = "IDENT"
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    LBRACE = "LBRACE"
+    RBRACE = "RBRACE"
+    COMMA = "COMMA"
+    DOT = "DOT"
+    COLON = "COLON"
+    PIPE = "PIPE"
+    ARROW = "ARROW"        # ->
+    DEFINES = "DEFINES"    # <-
+    OP = "OP"              # = != < <= > >=
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+_TOKEN_SPEC = [
+    (TokenKind.FLOAT, r"-?\d+\.\d+"),
+    (TokenKind.INT, r"-?\d+"),
+    (TokenKind.STRING, r"\"(?:[^\"\\]|\\.)*\"|'(?:[^'\\]|\\.)*'"),
+    (TokenKind.IDENT, r"[A-Za-z_][A-Za-z0-9_]*"),
+    (TokenKind.ARROW, r"->"),
+    (TokenKind.DEFINES, r"<-|<="),
+    (TokenKind.OP, r"!=|<=|>=|=|<|>"),
+    (TokenKind.LPAREN, r"\("),
+    (TokenKind.RPAREN, r"\)"),
+    (TokenKind.LBRACE, r"\{"),
+    (TokenKind.RBRACE, r"\}"),
+    (TokenKind.COMMA, r","),
+    (TokenKind.DOT, r"\."),
+    (TokenKind.COLON, r":"),
+    (TokenKind.PIPE, r"\|"),
+]
+
+_MASTER = re.compile(
+    "|".join(f"(?P<{kind}>{pattern})" for kind, pattern in _TOKEN_SPEC)
+)
+_WHITESPACE = re.compile(r"[ \t\r]+")
+_COMMENT = re.compile(r"(//|#|--)[^\n]*")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Turn source text into a token list ending with EOF.
+
+    Raises :class:`ParseError` on unrecognized characters.  ``//``,
+    ``#`` and ``--`` start line comments.
+    """
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    length = len(text)
+    while position < length:
+        if text[position] == "\n":
+            line += 1
+            position += 1
+            line_start = position
+            continue
+        whitespace = _WHITESPACE.match(text, position)
+        if whitespace:
+            position = whitespace.end()
+            continue
+        comment = _COMMENT.match(text, position)
+        if comment:
+            position = comment.end()
+            continue
+        match = _MASTER.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}",
+                line,
+                position - line_start + 1,
+            )
+        kind = match.lastgroup or ""
+        token_text = match.group()
+        # `<=` is ambiguous: as a comparison it is OP, as a rule
+        # definition arrow it is DEFINES.  The DEFINES pattern wins the
+        # alternation; the parser treats DEFINES('<=') as either,
+        # depending on context.
+        tokens.append(Token(kind, token_text, line, position - line_start + 1))
+        position = match.end()
+    tokens.append(Token(TokenKind.EOF, "", line, position - line_start + 1))
+    return tokens

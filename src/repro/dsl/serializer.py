@@ -1,0 +1,142 @@
+"""Serialization of scenarios back to the DSL (round-trips with the parser)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.scenario import MappingScenario
+from repro.datalog.program import ViewProgram
+from repro.logic.atoms import Atom, Comparison, Conjunction, NegatedConjunction
+from repro.logic.dependencies import Dependency
+from repro.logic.terms import Constant, Null, Term, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.relational.types import DataType
+
+__all__ = ["serialize_scenario", "serialize_dependency", "serialize_instance"]
+
+
+def _term(term: Term) -> str:
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, Null):
+        raise ValueError(f"labeled null {term} has no DSL syntax")
+    value = term.value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace('"', '\\"')
+        return f'"{escaped}"'
+    return str(value)
+
+
+def _atom(atom: Atom) -> str:
+    return f"{atom.relation}({', '.join(_term(t) for t in atom.terms)})"
+
+
+def _conjunction(conjunction: Conjunction) -> str:
+    parts: List[str] = [_atom(a) for a in conjunction.atoms]
+    parts += [
+        f"{_term(c.left)} {c.op} {_term(c.right)}" for c in conjunction.comparisons
+    ]
+    for negation in conjunction.negations:
+        inner = negation.inner
+        if (
+            len(inner.atoms) == 1
+            and not inner.comparisons
+            and not inner.negations
+        ):
+            parts.append(f"not {_atom(inner.atoms[0])}")
+        else:
+            parts.append(f"not ({_conjunction(inner)})")
+    return ", ".join(parts)
+
+
+def serialize_dependency(dependency: Dependency) -> str:
+    premise = _conjunction(dependency.premise)
+    if not dependency.disjuncts:
+        conclusion = "false"
+    else:
+        branches = []
+        for disjunct in dependency.disjuncts:
+            pieces = [_atom(a) for a in disjunct.atoms]
+            pieces += [
+                f"{_term(e.left)} = {_term(e.right)}" for e in disjunct.equalities
+            ]
+            pieces += [
+                f"{_term(c.left)} {c.op} {_term(c.right)}"
+                for c in disjunct.comparisons
+            ]
+            branches.append(", ".join(pieces))
+        conclusion = " | ".join(branches)
+    label = f"{dependency.name}: " if dependency.name else ""
+    return f"{label}{premise} -> {conclusion}."
+
+
+def _schema(schema: Schema, side: str) -> List[str]:
+    lines = [f"{side} schema {schema.name} {{"]
+    for relation in schema:
+        attributes = ", ".join(
+            f"{a.name}" if a.dtype is DataType.ANY else f"{a.name} {a.dtype}"
+            for a in relation.attributes
+        )
+        key = f" key({', '.join(relation.key)})" if relation.key else ""
+        lines.append(f"  {relation.name}({attributes}){key}.")
+    lines.append("}")
+    return lines
+
+
+def _views(program: ViewProgram, side: str) -> List[str]:
+    lines = [f"{side} views {{"]
+    for rule in program:
+        label = f"{rule.name}: " if rule.name else ""
+        lines.append(f"  {label}{_atom(rule.head)} <- {_conjunction(rule.body)}.")
+    lines.append("}")
+    return lines
+
+
+def serialize_instance(instance: Instance, side: str) -> str:
+    """Render an instance section (facts must be null-free)."""
+    lines = [f"instance {side} {{"]
+    for relation in sorted(instance.relations()):
+        for fact in sorted(instance.facts(relation), key=str):
+            lines.append(f"  {_atom(fact)}.")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def serialize_scenario(
+    scenario: MappingScenario,
+    source_instance: Optional[Instance] = None,
+    target_instance: Optional[Instance] = None,
+) -> str:
+    """Render a scenario (and optional instances) as a parseable document."""
+    lines: List[str] = []
+    lines += _schema(scenario.source_schema, "source")
+    lines.append("")
+    lines += _schema(scenario.target_schema, "target")
+    if scenario.source_views is not None:
+        lines.append("")
+        lines += _views(scenario.source_views, "source")
+    if scenario.target_views is not None:
+        lines.append("")
+        lines += _views(scenario.target_views, "target")
+    lines.append("")
+    lines.append("mappings {")
+    for mapping in scenario.mappings:
+        lines.append(f"  {serialize_dependency(mapping)}")
+    lines.append("}")
+    if scenario.target_constraints:
+        lines.append("")
+        lines.append("constraints {")
+        for constraint in scenario.target_constraints:
+            lines.append(f"  {serialize_dependency(constraint)}")
+        lines.append("}")
+    if source_instance is not None:
+        lines.append("")
+        lines.append(serialize_instance(source_instance, "source"))
+    if target_instance is not None:
+        lines.append("")
+        lines.append(serialize_instance(target_instance, "target"))
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Exception hierarchy for the GROM reproduction.
+
+Every error raised by the library derives from :class:`GromError`, so
+callers can catch one type at an API boundary.  Sub-hierarchies mirror
+the subsystems: logic kernel, relational substrate, Datalog engine,
+rewriter, and chase engine.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GromError",
+    "LogicError",
+    "ArityError",
+    "UnsafeDependencyError",
+    "SchemaError",
+    "UnknownRelationError",
+    "TypingError",
+    "DatalogError",
+    "RecursionError_",
+    "UnknownPredicateError",
+    "RewriteError",
+    "UnsupportedViewError",
+    "ChaseError",
+    "ChaseFailure",
+    "ChaseNonTermination",
+    "ParseError",
+    "VerificationError",
+]
+
+
+class GromError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Logic kernel
+# ---------------------------------------------------------------------------
+
+
+class LogicError(GromError):
+    """Malformed logical object (atom, dependency, substitution...)."""
+
+
+class ArityError(LogicError):
+    """An atom was built with the wrong number of terms for its relation."""
+
+    def __init__(self, relation: str, expected: int, got: int) -> None:
+        super().__init__(
+            f"relation {relation!r} has arity {expected}, got {got} terms"
+        )
+        self.relation = relation
+        self.expected = expected
+        self.got = got
+
+
+class UnsafeDependencyError(LogicError):
+    """A dependency violates a safety condition (e.g. unbound variable)."""
+
+
+# ---------------------------------------------------------------------------
+# Relational substrate
+# ---------------------------------------------------------------------------
+
+
+class SchemaError(GromError):
+    """Invalid schema definition or schema mismatch."""
+
+
+class UnknownRelationError(SchemaError):
+    """A relation name was referenced that the schema does not define."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown relation {name!r}")
+        self.name = name
+
+
+class TypingError(SchemaError):
+    """A value does not conform to the declared attribute type."""
+
+
+# ---------------------------------------------------------------------------
+# Datalog engine
+# ---------------------------------------------------------------------------
+
+
+class DatalogError(GromError):
+    """Invalid Datalog program."""
+
+
+class RecursionError_(DatalogError):
+    """The view program is recursive; GROM requires non-recursive Datalog."""
+
+
+class UnknownPredicateError(DatalogError):
+    """A rule body references a predicate that is neither base nor derived."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown predicate {name!r}")
+        self.name = name
+
+
+# ---------------------------------------------------------------------------
+# Rewriter
+# ---------------------------------------------------------------------------
+
+
+class RewriteError(GromError):
+    """The rewriter could not compile a scenario."""
+
+
+class UnsupportedViewError(RewriteError):
+    """A view definition falls outside the supported language."""
+
+
+# ---------------------------------------------------------------------------
+# Chase engine
+# ---------------------------------------------------------------------------
+
+
+class ChaseError(GromError):
+    """Generic chase-engine error."""
+
+
+class ChaseFailure(ChaseError):
+    """The chase failed: an egd equated distinct constants or a denial fired.
+
+    A failing chase is a *result*, not a bug; engines catch this internally
+    and report it through :class:`repro.chase.result.ChaseResult`.  It is
+    still an exception so low-level steps can abort eagerly.
+    """
+
+    def __init__(self, message: str, culprit: object = None) -> None:
+        super().__init__(message)
+        self.culprit = culprit
+
+
+class ChaseNonTermination(ChaseError):
+    """The chase exceeded its step budget (scenario may not terminate)."""
+
+
+# ---------------------------------------------------------------------------
+# DSL / verification
+# ---------------------------------------------------------------------------
+
+
+class ParseError(GromError):
+    """Error while parsing the textual scenario format."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class VerificationError(GromError):
+    """A produced solution does not satisfy the original semantic scenario."""

@@ -1,0 +1,69 @@
+"""Logic kernel: terms, atoms, substitutions, homomorphisms, dependencies.
+
+Everything in the system — view definitions, mappings, rewritten
+dependencies, chase steps — is expressed with the vocabulary defined
+here.
+"""
+
+from repro.logic.atoms import (
+    Atom,
+    Comparison,
+    Conjunction,
+    Equality,
+    NegatedConjunction,
+)
+from repro.logic.dependencies import (
+    Dependency,
+    DependencyKind,
+    Disjunct,
+    ded,
+    denial,
+    egd,
+    tgd,
+)
+from repro.logic.homomorphism import (
+    all_homomorphisms,
+    exists_homomorphism,
+    find_homomorphism,
+    homomorphically_equivalent,
+)
+from repro.logic.rename import renaming_for, standardize_apart
+from repro.logic.substitution import Substitution, match_atom, unify_atoms
+from repro.logic.terms import (
+    Constant,
+    Null,
+    NullFactory,
+    Term,
+    Variable,
+    VariableFactory,
+)
+
+__all__ = [
+    "Atom",
+    "Comparison",
+    "Conjunction",
+    "Equality",
+    "NegatedConjunction",
+    "Dependency",
+    "DependencyKind",
+    "Disjunct",
+    "ded",
+    "denial",
+    "egd",
+    "tgd",
+    "Constant",
+    "Null",
+    "NullFactory",
+    "Term",
+    "Variable",
+    "VariableFactory",
+    "Substitution",
+    "match_atom",
+    "unify_atoms",
+    "find_homomorphism",
+    "exists_homomorphism",
+    "all_homomorphisms",
+    "homomorphically_equivalent",
+    "renaming_for",
+    "standardize_apart",
+]

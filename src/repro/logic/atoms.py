@@ -1,0 +1,307 @@
+"""Atoms and conjunctive formulas of the mapping language.
+
+The building blocks are:
+
+* :class:`Atom` — a relational atom ``R(t1, ..., tk)``;
+* :class:`Comparison` — a comparison atom ``t1 op t2`` with
+  ``op ∈ {=, !=, <, <=, >, >=}`` (the paper's tgds-with-comparisons);
+* :class:`Equality` — an *enforced* equality used in egd/ded conclusions
+  (distinct from a :class:`Comparison`, which is merely checked);
+* :class:`Conjunction` — a conjunction of atoms, comparisons and negated
+  sub-conjunctions, used for rule bodies, dependency premises and the
+  interior of negations;
+* :class:`NegatedConjunction` — a negated existential conjunction
+  ``¬ ∃ z̄ (...)``, the shape negation takes after view unfolding.
+
+Negation may nest arbitrarily (a negated conjunction may itself contain
+negated conjunctions), which is what makes the view language of the paper
+-- non-recursive Datalog with negation over base *and derived* atoms --
+strictly harder than conjunctive views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator, Sequence, Tuple
+
+from repro.errors import LogicError, TypingError
+from repro.logic.terms import Constant, Null, Term, Variable
+
+__all__ = [
+    "Atom",
+    "Comparison",
+    "Equality",
+    "Conjunction",
+    "NegatedConjunction",
+    "COMPARISON_OPS",
+]
+
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+_NEGATED_OP = {
+    "=": "!=",
+    "!=": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """A relational atom ``relation(terms...)``."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Sequence[Term]) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+        if not relation:
+            raise LogicError("atom relation name must be non-empty")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield variables left-to-right, with repetition."""
+        for term in self.terms:
+            if isinstance(term, Variable):
+                yield term
+
+    def constants(self) -> Iterator[Constant]:
+        for term in self.terms:
+            if isinstance(term, Constant):
+                yield term
+
+    def nulls(self) -> Iterator[Null]:
+        for term in self.terms:
+            if isinstance(term, Null):
+                yield term
+
+    def is_ground(self) -> bool:
+        """True when the atom contains no variables (a *fact*)."""
+        return all(not isinstance(t, Variable) for t in self.terms)
+
+    def __str__(self) -> str:
+        inside = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation}({inside})"
+
+
+def _comparable(left: object, right: object) -> bool:
+    """Whether two constant values can be order-compared meaningfully."""
+    numeric = (int, float, bool)
+    if isinstance(left, numeric) and isinstance(right, numeric):
+        return True
+    return isinstance(left, str) and isinstance(right, str)
+
+
+@dataclass(frozen=True, order=True)
+class Comparison:
+    """A checked comparison atom ``left op right``.
+
+    Comparisons restrict when a premise matches; they never create values.
+    Equality/inequality also work on labeled nulls (by null identity, the
+    standard semantics for instances with nulls); order comparisons require
+    constants of comparable types.
+    """
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise LogicError(f"unknown comparison operator {self.op!r}")
+
+    def variables(self) -> Iterator[Variable]:
+        for term in (self.left, self.right):
+            if isinstance(term, Variable):
+                yield term
+
+    def negated(self) -> "Comparison":
+        """The complementary comparison (used when negation pushes inward)."""
+        return Comparison(_NEGATED_OP[self.op], self.left, self.right)
+
+    def is_ground(self) -> bool:
+        return not any(isinstance(t, Variable) for t in (self.left, self.right))
+
+    def evaluate(self) -> bool:
+        """Evaluate a ground comparison.
+
+        Raises :class:`TypingError` when the comparison is not ground or
+        order-compares nulls / incomparable constants.
+        """
+        if not self.is_ground():
+            raise TypingError(f"comparison {self} is not ground")
+        if self.op == "=":
+            return self.left == self.right
+        if self.op == "!=":
+            return self.left != self.right
+        if isinstance(self.left, Null) or isinstance(self.right, Null):
+            raise TypingError(f"cannot order-compare labeled nulls in {self}")
+        lval = self.left.value  # type: ignore[union-attr]
+        rval = self.right.value  # type: ignore[union-attr]
+        if not _comparable(lval, rval):
+            raise TypingError(
+                f"cannot compare {type(lval).__name__} with "
+                f"{type(rval).__name__} in {self}"
+            )
+        if self.op == "<":
+            return lval < rval
+        if self.op == "<=":
+            return lval <= rval
+        if self.op == ">":
+            return lval > rval
+        return lval >= rval
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True, order=True)
+class Equality:
+    """An *enforced* equality in an egd or ded conclusion.
+
+    Unlike :class:`Comparison`, chasing an :class:`Equality` actively
+    unifies the two sides (or fails when they are distinct constants).
+    """
+
+    left: Term
+    right: Term
+
+    def variables(self) -> Iterator[Variable]:
+        for term in (self.left, self.right):
+            if isinstance(term, Variable):
+                yield term
+
+    def is_trivial(self) -> bool:
+        """True when both sides are syntactically identical."""
+        return self.left == self.right
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """A conjunction of atoms, comparisons and negated sub-conjunctions.
+
+    ``Conjunction`` is the workhorse formula shape: Datalog rule bodies,
+    dependency premises and the interiors of negations are all
+    conjunctions.  The empty conjunction is *true*.
+    """
+
+    atoms: Tuple[Atom, ...] = ()
+    comparisons: Tuple[Comparison, ...] = ()
+    negations: Tuple["NegatedConjunction", ...] = ()
+
+    def __init__(
+        self,
+        atoms: Sequence[Atom] = (),
+        comparisons: Sequence[Comparison] = (),
+        negations: Sequence["NegatedConjunction"] = (),
+    ) -> None:
+        object.__setattr__(self, "atoms", tuple(atoms))
+        object.__setattr__(self, "comparisons", tuple(comparisons))
+        object.__setattr__(self, "negations", tuple(negations))
+
+    # -- structure ---------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True for the trivially-true conjunction."""
+        return not (self.atoms or self.comparisons or self.negations)
+
+    def is_positive(self) -> bool:
+        """True when the conjunction contains no negation at any depth."""
+        return not self.negations
+
+    def negation_depth(self) -> int:
+        """Maximum nesting depth of negation (0 for positive formulas)."""
+        if not self.negations:
+            return 0
+        return 1 + max(n.inner.negation_depth() for n in self.negations)
+
+    def relations(self) -> FrozenSet[str]:
+        """All relation names mentioned at any depth."""
+        names = {a.relation for a in self.atoms}
+        for negation in self.negations:
+            names |= negation.inner.relations()
+        return frozenset(names)
+
+    # -- variables ---------------------------------------------------------
+
+    def positive_variables(self) -> FrozenSet[Variable]:
+        """Variables occurring in a positive relational atom (the *range*).
+
+        These are the variables a safe evaluation can bind; comparison and
+        negation variables must be covered by them or be local.
+        """
+        return frozenset(v for a in self.atoms for v in a.variables())
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables at any depth, including inside negations."""
+        out = set(self.positive_variables())
+        for comparison in self.comparisons:
+            out.update(comparison.variables())
+        for negation in self.negations:
+            out.update(negation.inner.variables())
+        return frozenset(out)
+
+    def constants(self) -> FrozenSet[Constant]:
+        out = {c for a in self.atoms for c in a.constants()}
+        for comparison in self.comparisons:
+            for term in (comparison.left, comparison.right):
+                if isinstance(term, Constant):
+                    out.add(term)
+        for negation in self.negations:
+            out |= negation.inner.constants()
+        return frozenset(out)
+
+    # -- combination -------------------------------------------------------
+
+    def extend(self, other: "Conjunction") -> "Conjunction":
+        """The conjunction of ``self`` and ``other`` (order-preserving)."""
+        return Conjunction(
+            self.atoms + other.atoms,
+            self.comparisons + other.comparisons,
+            self.negations + other.negations,
+        )
+
+    def with_atoms(self, atoms: Iterable[Atom]) -> "Conjunction":
+        return Conjunction(
+            self.atoms + tuple(atoms), self.comparisons, self.negations
+        )
+
+    def __str__(self) -> str:
+        parts = [str(a) for a in self.atoms]
+        parts += [str(c) for c in self.comparisons]
+        parts += [str(n) for n in self.negations]
+        if not parts:
+            return "true"
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class NegatedConjunction:
+    """A negated existential conjunction ``¬ ∃ z̄ inner``.
+
+    The existential variables ``z̄`` are, by convention, exactly the
+    variables of ``inner`` that do not occur in the enclosing positive
+    context; they are not stored explicitly.  This matches the semantics
+    of safe stratified negation after unfolding.
+    """
+
+    inner: Conjunction
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.inner.variables()
+
+    def local_variables(self, outer: Iterable[Variable]) -> FrozenSet[Variable]:
+        """Variables existentially quantified inside this negation."""
+        return self.inner.variables() - frozenset(outer)
+
+    def __str__(self) -> str:
+        return f"not ({self.inner})"

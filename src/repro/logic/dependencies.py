@@ -1,0 +1,305 @@
+"""Embedded dependencies: tgds, egds, denials, and disjunctive deds.
+
+Following the paper, the mapping language is the language of *disjunctive
+embedded dependencies* (deds), which subsume all the others:
+
+* a **tgd** (tuple-generating dependency) has one disjunct of relational
+  atoms: ``∀x̄ (premise → ∃ȳ atoms)``;
+* an **egd** (equality-generating dependency) has one disjunct made of
+  equalities: ``∀x̄ (premise → x1 = x2)``;
+* a **denial** has an empty conclusion: ``∀x̄ (premise → ⊥)``; the chase
+  fails when its premise matches;
+* a **ded** has several disjuncts, each mixing atoms and equalities —
+  the paper's ``d0`` is ``TProduct(...), TProduct(...) → (pid1 = pid2) |
+  TRating(rid, pid1, '0') | TRating(rid, pid2, '0')``.
+
+One class, :class:`Dependency`, represents all of them; :attr:`kind`
+reports the classification the rest of the system dispatches on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.errors import UnsafeDependencyError
+from repro.logic.atoms import Atom, Comparison, Conjunction, Equality
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Variable, VariableFactory
+
+__all__ = ["DependencyKind", "Disjunct", "Dependency", "tgd", "egd", "denial", "ded"]
+
+
+class DependencyKind(enum.Enum):
+    """Syntactic classification of a dependency."""
+
+    TGD = "tgd"
+    EGD = "egd"
+    DENIAL = "denial"
+    DED = "ded"
+    MIXED = "mixed"  # single disjunct with both atoms and equalities
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Disjunct:
+    """One conclusion alternative of a dependency.
+
+    A disjunct may require relational atoms to exist (``atoms``, with
+    existential variables), equalities to hold (``equalities``, enforced by
+    unification), and comparisons to be satisfied (``comparisons``, checked
+    only — a disjunct whose comparisons fail under the premise match is
+    unusable and the chase must pick another branch).
+    """
+
+    atoms: Tuple[Atom, ...] = ()
+    equalities: Tuple[Equality, ...] = ()
+    comparisons: Tuple[Comparison, ...] = ()
+
+    def __init__(
+        self,
+        atoms: Sequence[Atom] = (),
+        equalities: Sequence[Equality] = (),
+        comparisons: Sequence[Comparison] = (),
+    ) -> None:
+        object.__setattr__(self, "atoms", tuple(atoms))
+        object.__setattr__(self, "equalities", tuple(equalities))
+        object.__setattr__(self, "comparisons", tuple(comparisons))
+
+    def is_empty(self) -> bool:
+        return not (self.atoms or self.equalities or self.comparisons)
+
+    def variables(self) -> FrozenSet[Variable]:
+        out = set()
+        for atom in self.atoms:
+            out.update(atom.variables())
+        for equality in self.equalities:
+            out.update(equality.variables())
+        for comparison in self.comparisons:
+            out.update(comparison.variables())
+        return frozenset(out)
+
+    def relations(self) -> FrozenSet[str]:
+        return frozenset(a.relation for a in self.atoms)
+
+    def apply(self, substitution: Substitution) -> "Disjunct":
+        return Disjunct(
+            tuple(substitution.apply_atom(a) for a in self.atoms),
+            tuple(substitution.apply_equality(e) for e in self.equalities),
+            tuple(substitution.apply_comparison(c) for c in self.comparisons),
+        )
+
+    def __str__(self) -> str:
+        parts = [str(a) for a in self.atoms]
+        parts += [str(e) for e in self.equalities]
+        parts += [str(c) for c in self.comparisons]
+        return ", ".join(parts) if parts else "false"
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """A disjunctive embedded dependency ``∀x̄ (premise → D1 | ... | Dn)``.
+
+    ``premise`` is a conjunction of relational atoms, comparisons and
+    (for intermediate, pre-rewriting forms) negated conjunctions.  The
+    rewriter guarantees that *output* dependencies fed to the chase have
+    negation-free premises.
+    """
+
+    premise: Conjunction
+    disjuncts: Tuple[Disjunct, ...] = ()
+    name: str = ""
+
+    def __init__(
+        self,
+        premise: Conjunction,
+        disjuncts: Sequence[Disjunct] = (),
+        name: str = "",
+    ) -> None:
+        object.__setattr__(self, "premise", premise)
+        object.__setattr__(self, "disjuncts", tuple(disjuncts))
+        object.__setattr__(self, "name", name)
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def kind(self) -> DependencyKind:
+        if not self.disjuncts:
+            return DependencyKind.DENIAL
+        if len(self.disjuncts) > 1:
+            return DependencyKind.DED
+        only = self.disjuncts[0]
+        if only.atoms and only.equalities:
+            return DependencyKind.MIXED
+        if only.equalities:
+            return DependencyKind.EGD
+        return DependencyKind.TGD
+
+    def is_ded(self) -> bool:
+        return self.kind is DependencyKind.DED
+
+    def is_standard(self) -> bool:
+        """True for tgds/egds/denials — chaseable by the classical chase."""
+        return self.kind is not DependencyKind.DED
+
+    # -- variables -----------------------------------------------------------
+
+    def frontier(self) -> FrozenSet[Variable]:
+        """Premise variables that also occur in some disjunct."""
+        premise_vars = self.premise.variables()
+        conclusion_vars = set()
+        for disjunct in self.disjuncts:
+            conclusion_vars |= disjunct.variables()
+        return premise_vars & frozenset(conclusion_vars)
+
+    def existential_variables(self, disjunct: Disjunct) -> FrozenSet[Variable]:
+        """Variables of ``disjunct`` not bound by the premise."""
+        return disjunct.variables() - self.premise.variables()
+
+    def variables(self) -> FrozenSet[Variable]:
+        out = set(self.premise.variables())
+        for disjunct in self.disjuncts:
+            out |= disjunct.variables()
+        return frozenset(out)
+
+    def relations(self) -> FrozenSet[str]:
+        """All relations mentioned in premise or conclusions."""
+        names = set(self.premise.relations())
+        for disjunct in self.disjuncts:
+            names |= disjunct.relations()
+        return frozenset(names)
+
+    # -- safety --------------------------------------------------------------
+
+    def check_safety(self) -> None:
+        """Raise :class:`UnsafeDependencyError` on a violation.
+
+        The conditions (standard for executable dependencies):
+
+        * every premise-comparison variable occurs in a positive premise atom;
+        * every free variable of a premise negation occurs in a positive
+          premise atom (safe negation);
+        * every equality variable of a disjunct occurs in a positive premise
+          atom (egds never invent values);
+        * disjunct comparisons only use premise variables (they are checks,
+          not constraints on invented nulls).
+        """
+        positive = self.premise.positive_variables()
+        for comparison in self.premise.comparisons:
+            for variable in comparison.variables():
+                if variable not in positive:
+                    raise UnsafeDependencyError(
+                        f"{self.describe()}: comparison variable {variable} "
+                        f"not bound by a positive premise atom"
+                    )
+        conclusion_vars = set()
+        for disjunct in self.disjuncts:
+            conclusion_vars |= disjunct.variables()
+        for negation in self.premise.negations:
+            # Negation variables are either local (existential inside the
+            # negation) or shared with the positive context.  A variable
+            # that leaks from a negation into a conclusion without a
+            # positive binding would be unsafe.
+            for variable in negation.inner.variables() & conclusion_vars:
+                if variable not in positive:
+                    raise UnsafeDependencyError(
+                        f"{self.describe()}: variable {variable} occurs in a "
+                        f"negation and a conclusion but has no positive binding"
+                    )
+        for disjunct in self.disjuncts:
+            for equality in disjunct.equalities:
+                for variable in equality.variables():
+                    if variable not in positive:
+                        raise UnsafeDependencyError(
+                            f"{self.describe()}: equality variable {variable} "
+                            f"not bound by a positive premise atom"
+                        )
+            for comparison in disjunct.comparisons:
+                for variable in comparison.variables():
+                    if variable not in positive:
+                        raise UnsafeDependencyError(
+                            f"{self.describe()}: disjunct comparison variable "
+                            f"{variable} not bound by the premise"
+                        )
+
+    # -- transformation --------------------------------------------------------
+
+    def apply(self, substitution: Substitution) -> "Dependency":
+        return Dependency(
+            substitution.apply_conjunction(self.premise),
+            tuple(d.apply(substitution) for d in self.disjuncts),
+            self.name,
+        )
+
+    def rename_apart(self, factory: VariableFactory) -> "Dependency":
+        """Rename all variables to fresh ones (for safe instantiation)."""
+        mapping = {}
+        for variable in sorted(self.variables()):
+            mapping[variable] = factory.fresh(hint=variable.name)
+        return self.apply(Substitution(mapping))
+
+    def with_name(self, name: str) -> "Dependency":
+        return Dependency(self.premise, self.disjuncts, name)
+
+    def select_branch(self, index: int, name_suffix: str = "") -> "Dependency":
+        """The standard dependency obtained by keeping only disjunct ``index``.
+
+        This is the elementary move of the greedy ded chase: a ded with k
+        disjuncts yields k standard dependencies, each capturing one branch.
+        """
+        if not 0 <= index < len(self.disjuncts):
+            raise IndexError(f"branch {index} out of range for {self.describe()}")
+        suffix = name_suffix or f"[{index}]"
+        return Dependency(self.premise, (self.disjuncts[index],),
+                          f"{self.name}{suffix}" if self.name else "")
+
+    # -- rendering -------------------------------------------------------------
+
+    def describe(self) -> str:
+        return self.name or f"<{self.kind}>"
+
+    def __str__(self) -> str:
+        conclusion = " | ".join(str(d) for d in self.disjuncts) or "false"
+        prefix = f"{self.name}: " if self.name else ""
+        return f"{prefix}{self.premise} -> {conclusion}"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def tgd(
+    premise: Conjunction,
+    conclusion: Sequence[Atom],
+    name: str = "",
+    comparisons: Sequence[Comparison] = (),
+) -> Dependency:
+    """Build a tuple-generating dependency."""
+    return Dependency(premise, (Disjunct(atoms=conclusion, comparisons=comparisons),), name)
+
+
+def egd(
+    premise: Conjunction, equalities: Sequence[Equality], name: str = ""
+) -> Dependency:
+    """Build an equality-generating dependency."""
+    if not equalities:
+        raise UnsafeDependencyError("an egd needs at least one equality")
+    return Dependency(premise, (Disjunct(equalities=equalities),), name)
+
+
+def denial(premise: Conjunction, name: str = "") -> Dependency:
+    """Build a denial constraint ``premise → ⊥``."""
+    return Dependency(premise, (), name)
+
+
+def ded(
+    premise: Conjunction,
+    disjuncts: Sequence[Disjunct],
+    name: str = "",
+) -> Dependency:
+    """Build a disjunctive embedded dependency."""
+    return Dependency(premise, tuple(disjuncts), name)

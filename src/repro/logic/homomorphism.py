@@ -1,0 +1,180 @@
+"""Homomorphisms between sets of atoms / facts.
+
+A homomorphism ``h`` from a set of atoms A to a set of atoms B maps
+variables and labeled nulls of A to terms of B such that ``h(a) ∈ B`` for
+every ``a ∈ A``, leaving constants fixed.  Homomorphisms are the semantic
+yard-stick of data exchange: *universal* solutions are exactly the
+solutions that map homomorphically into every other solution, and the
+restricted chase checks homomorphism extension before firing a tgd.
+
+The search is plain backtracking over relation-indexed facts, ordering
+the pending atoms most-constrained-first.  That is adequate for the
+dependency-sized and verification-sized problems the library solves (the
+bulk data path goes through :mod:`repro.relational.query` instead).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Union
+
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Null, Term, Variable
+
+__all__ = [
+    "Assignment",
+    "find_homomorphism",
+    "exists_homomorphism",
+    "all_homomorphisms",
+    "homomorphically_equivalent",
+    "apply_assignment",
+]
+
+MappableTerm = Union[Variable, Null]
+Assignment = Dict[MappableTerm, Term]
+"""A homomorphism under construction: maps variables/nulls to terms."""
+
+
+def apply_assignment(assignment: Mapping[MappableTerm, Term], atom: Atom) -> Atom:
+    """Apply a homomorphism to an atom (constants stay fixed)."""
+    new_terms = []
+    for term in atom.terms:
+        if isinstance(term, (Variable, Null)):
+            new_terms.append(assignment.get(term, term))
+        else:
+            new_terms.append(term)
+    return Atom(atom.relation, tuple(new_terms))
+
+
+def _index_by_relation(atoms: Iterable[Atom]) -> Dict[str, List[Atom]]:
+    index: Dict[str, List[Atom]] = defaultdict(list)
+    for atom in atoms:
+        index[atom.relation].append(atom)
+    return index
+
+
+def _mappable(term: Term, frozen: FrozenSet[Term]) -> bool:
+    return isinstance(term, (Variable, Null)) and term not in frozen
+
+
+def _order_atoms(atoms: Sequence[Atom], frozen: FrozenSet[Term]) -> List[Atom]:
+    """Most-constrained-first ordering heuristic.
+
+    Atoms with more rigid positions (constants / frozen terms) are matched
+    first; this prunes the backtracking tree early.
+    """
+    def rigidity(atom: Atom) -> int:
+        return sum(1 for t in atom.terms if not _mappable(t, frozen))
+
+    return sorted(atoms, key=rigidity, reverse=True)
+
+
+def _try_match(
+    pattern: Atom,
+    fact: Atom,
+    assignment: Assignment,
+    frozen: FrozenSet[Term],
+) -> Optional[Assignment]:
+    """Extend ``assignment`` so the pattern atom maps onto ``fact``."""
+    if pattern.relation != fact.relation or pattern.arity != fact.arity:
+        return None
+    extension: Assignment = {}
+    for p_term, f_term in zip(pattern.terms, fact.terms):
+        if _mappable(p_term, frozen):
+            current = assignment.get(p_term, extension.get(p_term))
+            if current is None:
+                extension[p_term] = f_term
+            elif current != f_term:
+                return None
+        elif p_term != f_term:
+            return None
+    if not extension:
+        return assignment
+    merged = dict(assignment)
+    merged.update(extension)
+    return merged
+
+
+def _search(
+    pending: List[Atom],
+    index: Dict[str, List[Atom]],
+    assignment: Assignment,
+    frozen: FrozenSet[Term],
+    collect: Optional[List[Assignment]],
+    limit: Optional[int],
+) -> Optional[Assignment]:
+    if not pending:
+        if collect is not None:
+            collect.append(dict(assignment))
+            return None if limit is None or len(collect) < limit else assignment
+        return assignment
+    atom, rest = pending[0], pending[1:]
+    for fact in index.get(atom.relation, ()):
+        extended = _try_match(atom, fact, assignment, frozen)
+        if extended is None:
+            continue
+        found = _search(rest, index, extended, frozen, collect, limit)
+        if found is not None:
+            return found
+    return None
+
+
+def find_homomorphism(
+    source: Iterable[Atom],
+    target: Iterable[Atom],
+    seed: Optional[Mapping[MappableTerm, Term]] = None,
+    frozen: Iterable[Term] = (),
+) -> Optional[Assignment]:
+    """Find one homomorphism from ``source`` into ``target``.
+
+    ``seed`` pre-binds some variables/nulls; ``frozen`` lists terms that
+    must map to themselves (used e.g. when checking that a solution is
+    universal *relative to* the source constants).  Returns ``None`` when
+    no homomorphism exists.
+    """
+    source_atoms = list(source)
+    frozen_set = frozenset(frozen)
+    index = _index_by_relation(target)
+    ordered = _order_atoms(source_atoms, frozen_set)
+    return _search(ordered, index, dict(seed or {}), frozen_set, None, None)
+
+
+def exists_homomorphism(
+    source: Iterable[Atom],
+    target: Iterable[Atom],
+    seed: Optional[Mapping[MappableTerm, Term]] = None,
+    frozen: Iterable[Term] = (),
+) -> bool:
+    """Whether some homomorphism from ``source`` into ``target`` exists."""
+    return find_homomorphism(source, target, seed, frozen) is not None
+
+
+def all_homomorphisms(
+    source: Iterable[Atom],
+    target: Iterable[Atom],
+    limit: Optional[int] = None,
+    frozen: Iterable[Term] = (),
+) -> List[Assignment]:
+    """All homomorphisms from ``source`` into ``target`` (up to ``limit``)."""
+    source_atoms = list(source)
+    frozen_set = frozenset(frozen)
+    index = _index_by_relation(target)
+    ordered = _order_atoms(source_atoms, frozen_set)
+    collected: List[Assignment] = []
+    _search(ordered, index, {}, frozen_set, collected, limit)
+    return collected
+
+
+def homomorphically_equivalent(
+    left: Iterable[Atom], right: Iterable[Atom]
+) -> bool:
+    """Whether homomorphisms exist in both directions.
+
+    Two universal solutions of the same scenario are always
+    homomorphically equivalent; this predicate backs tests and the
+    core-minimization module.
+    """
+    left_atoms, right_atoms = list(left), list(right)
+    return exists_homomorphism(left_atoms, right_atoms) and exists_homomorphism(
+        right_atoms, left_atoms
+    )

@@ -1,0 +1,75 @@
+"""Human-oriented rendering of logical objects.
+
+The default ``str()`` forms are compact ASCII.  This module adds the
+publication-style rendering used in reports and the CLI: implication
+arrows, logical symbols, per-line disjuncts, and side-by-side dependency
+listings — the textual counterpart of the paper's view browser.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.logic.atoms import Comparison, Conjunction, NegatedConjunction
+from repro.logic.dependencies import Dependency, DependencyKind
+
+__all__ = ["render_conjunction", "render_dependency", "render_dependencies"]
+
+_ARROW = "→"
+_BOTTOM = "⊥"
+_NOT = "¬"
+_OR = " | "
+
+
+def render_conjunction(conjunction: Conjunction, unicode: bool = True) -> str:
+    """Render a conjunction with ``¬(...)`` for nested negations."""
+    neg = _NOT if unicode else "not "
+    parts: List[str] = [str(a) for a in conjunction.atoms]
+    parts += [str(c) for c in conjunction.comparisons]
+    for negation in conjunction.negations:
+        parts.append(f"{neg}({render_conjunction(negation.inner, unicode)})")
+    return ", ".join(parts) if parts else "true"
+
+
+def render_dependency(dependency: Dependency, unicode: bool = True) -> str:
+    """One-line, paper-style rendering of a dependency."""
+    arrow = _ARROW if unicode else "->"
+    bottom = _BOTTOM if unicode else "false"
+    premise = render_conjunction(dependency.premise, unicode)
+    if not dependency.disjuncts:
+        conclusion = bottom
+    else:
+        branches = []
+        for disjunct in dependency.disjuncts:
+            pieces = [str(a) for a in disjunct.atoms]
+            pieces += [f"({e})" for e in disjunct.equalities]
+            pieces += [str(c) for c in disjunct.comparisons]
+            branches.append(", ".join(pieces) if pieces else "true")
+        conclusion = _OR.join(branches) if unicode else " | ".join(branches)
+    label = f"{dependency.name}: " if dependency.name else ""
+    return f"{label}{premise} {arrow} {conclusion}"
+
+
+def render_dependencies(
+    dependencies: Iterable[Dependency], unicode: bool = True
+) -> str:
+    """Multi-line listing, grouped by kind in a stable order."""
+    order = [
+        DependencyKind.TGD,
+        DependencyKind.MIXED,
+        DependencyKind.EGD,
+        DependencyKind.DED,
+        DependencyKind.DENIAL,
+    ]
+    by_kind = {kind: [] for kind in order}
+    for dependency in dependencies:
+        by_kind.setdefault(dependency.kind, []).append(dependency)
+    lines: List[str] = []
+    for kind in order:
+        group = by_kind.get(kind, [])
+        if not group:
+            continue
+        lines.append(f"-- {kind.value}s ({len(group)})")
+        for dependency in group:
+            lines.append("  " + render_dependency(dependency, unicode))
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Variable renaming utilities (standardize-apart).
+
+Unfolding a view body into a dependency, or instantiating two copies of
+the same view atom in an egd premise (as in the paper's ``e0``), requires
+renaming the body's local variables so they cannot capture variables of
+the enclosing formula.  These helpers centralize that discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.logic.atoms import Conjunction
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Variable, VariableFactory
+
+__all__ = ["standardize_apart", "renaming_for"]
+
+
+def renaming_for(
+    locals_: Iterable[Variable],
+    factory: VariableFactory,
+) -> Substitution:
+    """A substitution renaming each variable in ``locals_`` to a fresh one.
+
+    Fresh names keep the original name as a hint, so renamed formulas stay
+    readable in traces (``store`` becomes e.g. ``store_3``).
+    """
+    mapping = {}
+    for variable in sorted(set(locals_)):
+        mapping[variable] = factory.fresh(hint=variable.name)
+    return Substitution(mapping)
+
+
+def standardize_apart(
+    conjunction: Conjunction,
+    keep: Iterable[Variable],
+    factory: VariableFactory,
+) -> Tuple[Conjunction, Substitution]:
+    """Rename every variable of ``conjunction`` not listed in ``keep``.
+
+    Returns the renamed conjunction together with the renaming used, so
+    callers can apply the same renaming to companion formulas.
+    """
+    keep_set = frozenset(keep)
+    locals_ = conjunction.variables() - keep_set
+    renaming = renaming_for(locals_, factory)
+    return renaming.apply_conjunction(conjunction), renaming

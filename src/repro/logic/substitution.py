@@ -1,0 +1,228 @@
+"""Substitutions: finite maps from variables to terms.
+
+A substitution drives every symbolic operation in the system: applying a
+homomorphism found by the chase, unfolding a view body, standardizing a
+dependency apart, or unifying two atoms.  Substitutions are immutable;
+all "mutating" operations return a new substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.errors import LogicError
+from repro.logic.atoms import Atom, Comparison, Conjunction, Equality, NegatedConjunction
+from repro.logic.terms import Term, Variable
+
+__all__ = ["Substitution", "unify_atoms", "match_atom"]
+
+
+class Substitution:
+    """An immutable map ``Variable -> Term``.
+
+    Application is *non-recursive*: the image of a variable is used as-is,
+    it is not itself substituted again.  Use :meth:`compose` to chain.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Optional[Mapping[Variable, Term]] = None) -> None:
+        self._map: Dict[Variable, Term] = dict(mapping or {})
+        for key in self._map:
+            if not isinstance(key, Variable):
+                raise LogicError(f"substitution keys must be variables, got {key!r}")
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __contains__(self, variable: Variable) -> bool:
+        return variable in self._map
+
+    def __getitem__(self, variable: Variable) -> Term:
+        return self._map[variable]
+
+    def get(self, variable: Variable, default: Optional[Term] = None):
+        return self._map.get(variable, default)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __iter__(self):
+        return iter(self._map)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Substitution) and other._map == self._map
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._map.items()))
+
+    def items(self) -> Iterable[Tuple[Variable, Term]]:
+        return self._map.items()
+
+    def domain(self) -> frozenset:
+        return frozenset(self._map)
+
+    def __repr__(self) -> str:
+        inside = ", ".join(f"{k}->{v}" for k, v in sorted(self._map.items()))
+        return f"{{{inside}}}"
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Substitution":
+        return cls()
+
+    def bind(self, variable: Variable, term: Term) -> "Substitution":
+        """Return a copy with ``variable -> term`` added.
+
+        Raises :class:`LogicError` on a conflicting existing binding.
+        """
+        existing = self._map.get(variable)
+        if existing is not None and existing != term:
+            raise LogicError(
+                f"conflicting binding for {variable}: {existing} vs {term}"
+            )
+        new_map = dict(self._map)
+        new_map[variable] = term
+        return Substitution(new_map)
+
+    def try_bind(self, variable: Variable, term: Term) -> Optional["Substitution"]:
+        """Like :meth:`bind` but returns ``None`` on conflict."""
+        existing = self._map.get(variable)
+        if existing is not None:
+            return self if existing == term else None
+        new_map = dict(self._map)
+        new_map[variable] = term
+        return Substitution(new_map)
+
+    def merge(self, other: "Substitution") -> Optional["Substitution"]:
+        """Union of two substitutions, or ``None`` if they conflict."""
+        new_map = dict(self._map)
+        for variable, term in other.items():
+            existing = new_map.get(variable)
+            if existing is not None and existing != term:
+                return None
+            new_map[variable] = term
+        return Substitution(new_map)
+
+    def compose(self, then: "Substitution") -> "Substitution":
+        """``self`` followed by ``then``: ``x -> then(self(x))``.
+
+        Variables bound only in ``then`` are carried over.
+        """
+        new_map: Dict[Variable, Term] = {}
+        for variable, term in self._map.items():
+            new_map[variable] = then.apply_term(term)
+        for variable, term in then.items():
+            new_map.setdefault(variable, term)
+        return Substitution(new_map)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Substitution":
+        """Keep only bindings for ``variables``."""
+        keep = set(variables)
+        return Substitution({v: t for v, t in self._map.items() if v in keep})
+
+    # -- application -----------------------------------------------------------
+
+    def apply_term(self, term: Term) -> Term:
+        if isinstance(term, Variable):
+            return self._map.get(term, term)
+        return term
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        return Atom(atom.relation, tuple(self.apply_term(t) for t in atom.terms))
+
+    def apply_comparison(self, comparison: Comparison) -> Comparison:
+        return Comparison(
+            comparison.op,
+            self.apply_term(comparison.left),
+            self.apply_term(comparison.right),
+        )
+
+    def apply_equality(self, equality: Equality) -> Equality:
+        return Equality(self.apply_term(equality.left), self.apply_term(equality.right))
+
+    def apply_conjunction(self, conjunction: Conjunction) -> Conjunction:
+        return Conjunction(
+            tuple(self.apply_atom(a) for a in conjunction.atoms),
+            tuple(self.apply_comparison(c) for c in conjunction.comparisons),
+            tuple(self.apply_negation(n) for n in conjunction.negations),
+        )
+
+    def apply_negation(self, negation: NegatedConjunction) -> NegatedConjunction:
+        return NegatedConjunction(self.apply_conjunction(negation.inner))
+
+    def apply(
+        self,
+        obj: Union[Term, Atom, Comparison, Equality, Conjunction, NegatedConjunction],
+    ):
+        """Polymorphic application, dispatched on the argument type."""
+        if isinstance(obj, Atom):
+            return self.apply_atom(obj)
+        if isinstance(obj, Comparison):
+            return self.apply_comparison(obj)
+        if isinstance(obj, Equality):
+            return self.apply_equality(obj)
+        if isinstance(obj, Conjunction):
+            return self.apply_conjunction(obj)
+        if isinstance(obj, NegatedConjunction):
+            return self.apply_negation(obj)
+        return self.apply_term(obj)
+
+
+def match_atom(
+    pattern: Atom, fact: Atom, seed: Optional[Substitution] = None
+) -> Optional[Substitution]:
+    """One-way matching of ``pattern`` against a ground ``fact``.
+
+    Extends ``seed`` so that ``seed(pattern) == fact``, treating constants
+    and nulls in the pattern as rigid.  Returns ``None`` when no such
+    extension exists.  This is the elementary operation of premise
+    evaluation and homomorphism search.
+    """
+    if pattern.relation != fact.relation or pattern.arity != fact.arity:
+        return None
+    current = seed if seed is not None else Substitution.empty()
+    for pattern_term, fact_term in zip(pattern.terms, fact.terms):
+        if isinstance(pattern_term, Variable):
+            bound = current.try_bind(pattern_term, fact_term)
+            if bound is None:
+                return None
+            current = bound
+        elif pattern_term != fact_term:
+            return None
+    return current
+
+
+def unify_atoms(left: Atom, right: Atom) -> Optional[Substitution]:
+    """Syntactic unification of two atoms (no occurs-check needed: terms
+    are flat, so unification either fails or yields a most general unifier
+    mapping variables to variables/constants/nulls)."""
+    if left.relation != right.relation or left.arity != right.arity:
+        return None
+    bindings: Dict[Variable, Term] = {}
+
+    def resolve(term: Term) -> Term:
+        while isinstance(term, Variable) and term in bindings:
+            term = bindings[term]
+        return term
+
+    for l_term, r_term in zip(left.terms, right.terms):
+        l_res, r_res = resolve(l_term), resolve(r_term)
+        if l_res == r_res:
+            continue
+        if isinstance(l_res, Variable):
+            bindings[l_res] = r_res
+        elif isinstance(r_res, Variable):
+            bindings[r_res] = l_res
+        else:
+            return None
+    # Flatten chains so application is single-step.
+    flat = {v: _chase_term(bindings, v) for v in bindings}
+    return Substitution(flat)
+
+
+def _chase_term(bindings: Dict[Variable, Term], variable: Variable) -> Term:
+    term: Term = variable
+    while isinstance(term, Variable) and term in bindings:
+        term = bindings[term]
+    return term

@@ -1,0 +1,101 @@
+"""One-call pipeline: rewrite → compose → chase → verify.
+
+This is the whole Figure-2 architecture as a function: the mapping
+designer's scenario goes in, a physical target instance comes out, with
+the rewriting, the source-view materialization, the (greedy ded) chase
+and the soundness verification wired together the way the GROM system
+wires its modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chase.ded import GreedyDedChase
+from repro.chase.engine import ChaseConfig, StandardChase
+from repro.chase.result import ChaseResult, ChaseStatus
+from repro.core.compose import extend_source
+from repro.core.rewriter import AUX_PREFIX, RewriteResult, rewrite
+from repro.core.scenario import MappingScenario
+from repro.core.verify import VerificationReport, verify_solution
+from repro.relational.instance import Instance
+
+__all__ = ["PipelineResult", "run_scenario", "strip_auxiliary"]
+
+
+@dataclass
+class PipelineResult:
+    """Everything one end-to-end run produces."""
+
+    rewrite: RewriteResult
+    chase: ChaseResult
+    target: Instance
+    """Physical target instance (auxiliary requirement relations stripped)."""
+
+    verification: Optional[VerificationReport] = None
+
+    @property
+    def ok(self) -> bool:
+        verified = self.verification.ok if self.verification else True
+        return self.chase.ok and verified
+
+
+def strip_auxiliary(instance: Instance) -> Instance:
+    """Drop the rewriter's ``_grom_req_*`` bookkeeping relations."""
+    stripped = Instance()
+    for fact in instance:
+        if not fact.relation.startswith(AUX_PREFIX):
+            stripped.add(fact)
+    return stripped
+
+
+def run_scenario(
+    scenario: MappingScenario,
+    source_instance: Instance,
+    verify: bool = True,
+    config: Optional[ChaseConfig] = None,
+    max_scenarios: int = 256,
+    unfold_source_premises: bool = False,
+) -> PipelineResult:
+    """Run the full GROM pipeline on a scenario and a source instance.
+
+    1. rewrite the semantic mappings (``Σ_{V_S,V_T} ∪ Σ_{V_T}`` →
+       ``Σ_ST ∪ Σ_T``);
+    2. materialize source views (``I_S ∪ Υ_S(I_S)``) unless premises
+       were unfolded instead;
+    3. chase — the standard engine when the rewriting is ded-free, the
+       greedy ded engine otherwise;
+    4. verify the produced target against the *original* semantic
+       scenario (the paper's soundness contract).
+    """
+    rewritten = rewrite(scenario, unfold_source_premises=unfold_source_premises)
+    if unfold_source_premises:
+        chase_input = source_instance
+    else:
+        chase_input = extend_source(scenario, source_instance)
+
+    if rewritten.has_deds:
+        engine = GreedyDedChase(
+            rewritten.dependencies,
+            rewritten.source_relations(),
+            config,
+            max_scenarios=max_scenarios,
+        )
+        chase_result = engine.run(chase_input)
+    else:
+        standard = StandardChase(
+            rewritten.dependencies, rewritten.source_relations(), config
+        )
+        chase_result = standard.run(chase_input)
+
+    target = strip_auxiliary(chase_result.target)
+    verification = None
+    if verify and chase_result.ok:
+        verification = verify_solution(scenario, source_instance, target)
+    return PipelineResult(
+        rewrite=rewritten,
+        chase=chase_result,
+        target=target,
+        verification=verification,
+    )

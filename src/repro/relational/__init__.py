@@ -1,0 +1,27 @@
+"""Relational substrate: typed schemas, instances with nulls, evaluation.
+
+This package replaces the PostgreSQL backing store of the original
+Llunatic-based implementation with an in-memory engine exposing the same
+algebraic behaviour: hash-indexed joins, anti-joins for safe negation,
+comparison predicates, and delta-restricted evaluation for chase rounds.
+"""
+
+from repro.relational.csv_io import load_instance, save_instance
+from repro.relational.instance import Instance
+from repro.relational.query import evaluate, evaluate_delta, exists
+from repro.relational.schema import Attribute, FunctionalDependency, Relation, Schema
+from repro.relational.types import DataType
+
+__all__ = [
+    "Attribute",
+    "DataType",
+    "FunctionalDependency",
+    "Instance",
+    "Relation",
+    "Schema",
+    "evaluate",
+    "evaluate_delta",
+    "exists",
+    "load_instance",
+    "save_instance",
+]

@@ -1,0 +1,83 @@
+"""Loading and saving instances as directories of CSV files.
+
+One file per relation, named ``<relation>.csv``, with a header row of
+attribute names.  Labeled nulls serialize as ``#N<id>`` and round-trip.
+This gives benchmark scenarios and examples a durable on-disk form
+without requiring an external database.
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+from pathlib import Path
+from typing import Union
+
+from repro.errors import SchemaError
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Null, Term
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.relational.types import DataType, parse_literal
+
+__all__ = ["save_instance", "load_instance"]
+
+_NULL_PATTERN = re.compile(r"^#N(\d+)(?:_(.*))?$")
+
+
+def _render(term: Term) -> str:
+    if isinstance(term, Null):
+        return f"#N{term.id}_{term.hint}" if term.hint else f"#N{term.id}"
+    assert isinstance(term, Constant)
+    return str(term.value)
+
+
+def _parse(text: str, dtype: DataType) -> Term:
+    match = _NULL_PATTERN.match(text)
+    if match:
+        return Null(int(match.group(1)), match.group(2) or "")
+    return parse_literal(text, dtype)
+
+
+def save_instance(instance: Instance, directory: Union[str, Path]) -> None:
+    """Write one CSV per non-empty relation into ``directory``."""
+    if instance.schema is None:
+        raise SchemaError("saving requires an instance with a schema")
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    for relation_name in instance.relations():
+        relation = instance.schema.relation(relation_name)
+        with open(path / f"{relation_name}.csv", "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([a.name for a in relation.attributes])
+            for fact in sorted(instance.facts(relation_name), key=str):
+                writer.writerow([_render(t) for t in fact.terms])
+
+
+def load_instance(schema: Schema, directory: Union[str, Path]) -> Instance:
+    """Read every ``<relation>.csv`` found in ``directory`` for ``schema``."""
+    path = Path(directory)
+    instance = Instance(schema)
+    for relation in schema:
+        file_path = path / f"{relation.name}.csv"
+        if not file_path.exists():
+            continue
+        with open(file_path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                continue
+            if [h.strip() for h in header] != [a.name for a in relation.attributes]:
+                raise SchemaError(
+                    f"{file_path}: header {header} does not match "
+                    f"relation {relation.name}"
+                )
+            for row in reader:
+                if not row:
+                    continue
+                terms = tuple(
+                    _parse(text, attribute.dtype)
+                    for text, attribute in zip(row, relation.attributes)
+                )
+                instance.add(Atom(relation.name, terms))
+    return instance

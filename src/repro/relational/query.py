@@ -1,0 +1,262 @@
+"""Conjunctive-query evaluation with comparisons and safe negation.
+
+This is the workhorse evaluator used by the Datalog engine (to
+materialize views), by the chase engine (to find premise matches), and by
+the verifier.  It evaluates a :class:`~repro.logic.atoms.Conjunction`
+against an :class:`~repro.relational.instance.Instance`:
+
+* positive atoms are joined left-to-right after a greedy
+  most-bound-first, smallest-relation-first planning pass, each join step
+  probing a hash index on the statically-known bound positions;
+* comparison atoms are applied as soon as their variables are bound;
+* negated conjunctions (safe, stratified after unfolding) are evaluated
+  last as *not-exists* sub-queries, recursing through nested negation.
+
+Bindings are plain ``dict`` objects for speed; the public helpers convert
+to :class:`~repro.logic.substitution.Substitution` at the API edge.
+
+The module also implements the *delta* evaluation used by chase rounds:
+matches are restricted to those using at least one fact from a given
+recently-inserted set, which is what makes the chase incremental instead
+of quadratic in the number of rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TypingError, UnsafeDependencyError
+from repro.logic.atoms import Atom, Comparison, Conjunction, NegatedConjunction
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Null, Term, Variable
+from repro.relational.instance import Instance
+
+__all__ = ["evaluate", "evaluate_delta", "exists", "bindings_to_substitutions"]
+
+Binding = Dict[Variable, Term]
+
+
+def _resolve(term: Term, binding: Binding) -> Optional[Term]:
+    """The value of a term under a binding, or None for an unbound variable."""
+    if isinstance(term, Variable):
+        return binding.get(term)
+    return term
+
+
+def _plan(atoms: Sequence[Atom], instance: Instance, bound: Set[Variable]) -> List[int]:
+    """Greedy join order: most bound positions first, then smaller relation.
+
+    Returns atom indices in evaluation order.  ``bound`` is mutated to
+    reflect the variables bound after each chosen step.
+    """
+    remaining = list(range(len(atoms)))
+    order: List[int] = []
+    bound_now = set(bound)
+    while remaining:
+        def score(i: int) -> Tuple[int, int]:
+            atom = atoms[i]
+            bound_positions = sum(
+                1
+                for t in atom.terms
+                if not isinstance(t, Variable) or t in bound_now
+            )
+            # Prefer more bound positions; break ties on smaller relations.
+            return (-bound_positions, instance.size(atom.relation))
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        order.append(best)
+        for variable in atoms[best].variables():
+            bound_now.add(variable)
+    bound |= bound_now
+    return order
+
+
+def _comparison_ready(comparison: Comparison, bound: Set[Variable]) -> bool:
+    return all(v in bound for v in comparison.variables())
+
+
+def _check_comparison(comparison: Comparison, binding: Binding) -> bool:
+    left = _resolve(comparison.left, binding)
+    right = _resolve(comparison.right, binding)
+    ground = Comparison(
+        comparison.op,
+        comparison.left if left is None else left,
+        comparison.right if right is None else right,
+    )
+    try:
+        return ground.evaluate()
+    except TypingError:
+        # An unsatisfiable comparison (e.g. ordering a null) simply does
+        # not match -- mirroring SQL's NULL comparison semantics.
+        return False
+
+
+def _join_step(
+    solutions: List[Binding],
+    atom: Atom,
+    instance: Instance,
+    bound_before: Set[Variable],
+    delta: Optional[Set[Atom]] = None,
+) -> List[Binding]:
+    """Extend each binding with matches of ``atom`` against the instance."""
+    bound_positions = [
+        i
+        for i, t in enumerate(atom.terms)
+        if not isinstance(t, Variable) or t in bound_before
+    ]
+    unbound = [
+        (i, t)
+        for i, t in enumerate(atom.terms)
+        if isinstance(t, Variable) and t not in bound_before
+    ]
+    # Repeated fresh variables within the atom need an equality check.
+    seen_positions: Dict[Variable, int] = {}
+    index = instance.index(atom.relation, bound_positions)
+    out: List[Binding] = []
+    for binding in solutions:
+        key = tuple(
+            _resolve(atom.terms[i], binding) for i in bound_positions
+        )
+        for fact in index.get(key, ()):  # type: ignore[call-overload]
+            if delta is not None and fact not in delta:
+                continue
+            extended = dict(binding)
+            ok = True
+            for position, variable in unbound:
+                value = fact.terms[position]
+                current = extended.get(variable)
+                if current is None:
+                    extended[variable] = value
+                elif current != value:
+                    ok = False
+                    break
+            if ok:
+                out.append(extended)
+    return out
+
+
+def _apply_negations(
+    solutions: List[Binding],
+    negations: Sequence[NegatedConjunction],
+    instance: Instance,
+) -> List[Binding]:
+    if not negations:
+        return solutions
+    out: List[Binding] = []
+    for binding in solutions:
+        if all(
+            not exists(negation.inner, instance, seed=binding)
+            for negation in negations
+        ):
+            out.append(binding)
+    return out
+
+
+def evaluate(
+    body: Conjunction,
+    instance: Instance,
+    seed: Optional[Binding] = None,
+    limit: Optional[int] = None,
+) -> List[Binding]:
+    """All bindings of ``body``'s variables satisfying it in ``instance``.
+
+    ``seed`` pre-binds variables (used for correlated sub-queries and for
+    checking specific premise matches); ``limit`` stops early once that
+    many bindings are found (before negation filtering the limit is not
+    applied, so it is only an optimization for positive bodies).
+    """
+    seed_binding: Binding = dict(seed or {})
+    bound: Set[Variable] = set(seed_binding)
+    order = _plan(body.atoms, instance, bound)
+
+    solutions: List[Binding] = [seed_binding]
+    bound_now: Set[Variable] = set(seed_binding)
+    pending_comparisons = list(body.comparisons)
+
+    # Comparisons whose variables are already bound by the seed apply first.
+    applied: List[Comparison] = []
+    for comparison in pending_comparisons:
+        if _comparison_ready(comparison, bound_now):
+            solutions = [b for b in solutions if _check_comparison(comparison, b)]
+            applied.append(comparison)
+    pending_comparisons = [c for c in pending_comparisons if c not in applied]
+
+    for atom_index in order:
+        atom = body.atoms[atom_index]
+        solutions = _join_step(solutions, atom, instance, bound_now)
+        for variable in atom.variables():
+            bound_now.add(variable)
+        if not solutions:
+            return []
+        ready = [c for c in pending_comparisons if _comparison_ready(c, bound_now)]
+        for comparison in ready:
+            solutions = [b for b in solutions if _check_comparison(comparison, b)]
+            pending_comparisons.remove(comparison)
+        if limit is not None and not body.negations and not pending_comparisons:
+            if len(solutions) >= limit and atom_index == order[-1]:
+                solutions = solutions[:limit]
+
+    if pending_comparisons:
+        # Safety should prevent this; treat unbound comparisons as failures.
+        raise UnsafeDependencyError(
+            f"comparisons {pending_comparisons} have unbound variables in {body}"
+        )
+
+    solutions = _apply_negations(solutions, body.negations, instance)
+    if limit is not None:
+        solutions = solutions[:limit]
+    return solutions
+
+
+def evaluate_delta(
+    body: Conjunction,
+    instance: Instance,
+    delta: Set[Atom],
+    seed: Optional[Binding] = None,
+) -> List[Binding]:
+    """Bindings of ``body`` that use at least one fact from ``delta``.
+
+    Implements the classical delta-join: for each positive atom position
+    ``i``, join with atom ``i`` restricted to ``delta`` and all other
+    atoms unrestricted, then deduplicate.  Negations are evaluated against
+    the full instance (their non-monotonicity is the rewriter's concern,
+    not the evaluator's).
+    """
+    if not body.atoms:
+        return evaluate(body, instance, seed=seed)
+    relations_in_delta = {f.relation for f in delta}
+    out: List[Binding] = []
+    seen: Set[Tuple[Tuple[Variable, Term], ...]] = set()
+    for anchor_index, anchor in enumerate(body.atoms):
+        if anchor.relation not in relations_in_delta:
+            continue
+        seed_binding: Binding = dict(seed or {})
+        bound_now: Set[Variable] = set(seed_binding)
+        # Anchor join first, restricted to delta facts.
+        solutions = _join_step([seed_binding], anchor, instance, bound_now, delta=delta)
+        if not solutions:
+            continue
+        for variable in anchor.variables():
+            bound_now.add(variable)
+        rest = [a for i, a in enumerate(body.atoms) if i != anchor_index]
+        rest_body = Conjunction(rest, body.comparisons, body.negations)
+        for binding in solutions:
+            for full in evaluate(rest_body, instance, seed=binding):
+                key = tuple(sorted(full.items()))
+                if key not in seen:
+                    seen.add(key)
+                    out.append(full)
+    return out
+
+
+def exists(
+    body: Conjunction, instance: Instance, seed: Optional[Binding] = None
+) -> bool:
+    """Whether ``body`` has at least one match in ``instance``."""
+    return bool(evaluate(body, instance, seed=seed, limit=1))
+
+
+def bindings_to_substitutions(bindings: Iterable[Binding]) -> List[Substitution]:
+    """Convert raw binding dicts to :class:`Substitution` objects."""
+    return [Substitution(b) for b in bindings]

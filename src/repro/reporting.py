@@ -1,0 +1,80 @@
+"""Plain-text table rendering for benchmark harnesses and the CLI.
+
+The benchmark scripts print the same kind of rows the paper's
+experiments would tabulate; this module keeps that output aligned and
+consistent without pulling in a formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_row", "Table"]
+
+Cell = Union[str, int, float, bool, None]
+
+
+def _render_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def format_row(cells: Sequence[Cell], widths: Sequence[int]) -> str:
+    rendered = [
+        _render_cell(cell).rjust(width) if not isinstance(cell, str) else
+        _render_cell(cell).ljust(width)
+        for cell, width in zip(cells, widths)
+    ]
+    return "  ".join(rendered)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned table: left-aligned strings, right-aligned numbers."""
+    materialized = [list(row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(_render_cell(cell)))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(format_row(row, widths))
+    return "\n".join(lines)
+
+
+class Table:
+    """Accumulates rows and prints once — convenient inside benchmarks."""
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[Cell]] = []
+
+    def add(self, *cells: Cell) -> None:
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        return format_table(self.headers, self.rows, self.title)
+
+    def print(self) -> None:
+        print()
+        print(self.render())

@@ -1,0 +1,49 @@
+"""Scenario library: the paper's running example plus parametric families.
+
+Reconstructs the workloads GROM was demonstrated on: the Section 2
+product/store/rating example (with its d0-producing key constraint),
+flag-view families for the ded-complexity experiments, {disjoint,
+complete} partition hierarchies in the style of Figure 1, clean-up
+scenarios over poorly-designed sources, schema-evolution scenarios, and
+a randomized generator for property-based testing.
+"""
+
+from repro.scenarios.evolution import evolution_instance, evolution_scenario
+from repro.scenarios.generators import (
+    GeneratedScenario,
+    cleanup_instance,
+    cleanup_scenario,
+    flagged_instance,
+    flagged_scenario,
+    random_scenario,
+)
+from repro.scenarios.ontology import partition_instance, partition_scenario
+from repro.scenarios.running_example import (
+    build_key_constraint,
+    build_mappings,
+    build_scenario,
+    build_source_schema,
+    build_target_schema,
+    build_target_views,
+    generate_source_instance,
+)
+
+__all__ = [
+    "build_scenario",
+    "build_source_schema",
+    "build_target_schema",
+    "build_target_views",
+    "build_mappings",
+    "build_key_constraint",
+    "generate_source_instance",
+    "flagged_scenario",
+    "flagged_instance",
+    "cleanup_scenario",
+    "cleanup_instance",
+    "random_scenario",
+    "GeneratedScenario",
+    "partition_scenario",
+    "partition_instance",
+    "evolution_scenario",
+    "evolution_instance",
+]

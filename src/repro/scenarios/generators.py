@@ -1,0 +1,377 @@
+"""Parametric scenario generators for benchmarks and property tests.
+
+The demo paper describes its evaluation qualitatively ("we intend to
+challenge the audience with different schemas and mapping scenarios"),
+so the benchmark workloads are reconstructed.  Three families:
+
+* :func:`flagged_scenario` — the running example extended with ``k``
+  *flag views* (``Flagged_j(pid, n) ⇐ T_Product, ¬T_Rating(r, pid,
+  flag_j)``) each carrying a name-key egd.  Every key rewrites into a
+  3-branch ded whose equality branch fails on distinct ids while both
+  rating branches survive: the disjunctive chase doubles per conflict
+  (E3's exponential universal model sets) and the greedy chase must walk
+  past every selection containing an equality branch (E4's "many of the
+  generated scenarios fail").
+* :func:`cleanup_scenario` — the paper's "poor design / clean-up view"
+  experience: a denormalized source with status codes mapped through
+  negation-filtering target views.
+* :func:`random_scenario` — randomized but always-safe scenarios for
+  property-based testing of the rewrite/chase/verify pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.scenario import MappingScenario
+from repro.datalog.program import ViewProgram
+from repro.logic.atoms import (
+    Atom,
+    Comparison,
+    Conjunction,
+    Equality,
+    NegatedConjunction,
+)
+from repro.logic.dependencies import Dependency, egd, tgd
+from repro.logic.terms import Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.scenarios import running_example
+
+__all__ = [
+    "flagged_scenario",
+    "flagged_instance",
+    "cleanup_scenario",
+    "cleanup_instance",
+    "random_scenario",
+    "GeneratedScenario",
+]
+
+FLAG_BASE = 100
+"""thumbsUp codes >= FLAG_BASE are synthetic flags, outside the 0/1 domain."""
+
+
+@dataclass
+class GeneratedScenario:
+    """A scenario together with a matching instance generator seed."""
+
+    scenario: MappingScenario
+    instance: Instance
+
+
+# ---------------------------------------------------------------------------
+# Flag-view family (E3 / E4)
+# ---------------------------------------------------------------------------
+
+
+def flagged_scenario(flags: int = 1) -> MappingScenario:
+    """The running example plus ``flags`` flag views with name keys.
+
+    ``Flagged_j(pid, name) ⇐ T_Product(pid, name, s), ¬T_Rating(r, pid,
+    FLAG_BASE + j)`` — a product is *flagged* unless a synthetic rating
+    with code ``FLAG_BASE + j`` exists.  The key egd on ``Flagged_j``
+    names rewrites into the d0-shaped ded::
+
+        T_Product(id1, n, s1), T_Product(id2, n, s2)
+            → id1 = id2 | T_Rating(r, id1, cj) | T_Rating(r, id2, cj)
+
+    Flag codes never interact with the classification views (which only
+    look at codes 0/1), so both insert branches always succeed.
+    """
+    source_schema = running_example.build_source_schema()
+    target_schema = running_example.build_target_schema()
+    views = running_example.build_target_views(target_schema)
+    constraints: List[Dependency] = []
+    pid, name, store, rid = (
+        Variable("pid"),
+        Variable("name"),
+        Variable("store"),
+        Variable("rid"),
+    )
+    for j in range(flags):
+        view_name = f"Flagged_{j}"
+        code = Constant(FLAG_BASE + j)
+        views.define(
+            Atom(view_name, (pid, name)),
+            Conjunction(
+                atoms=(Atom("T_Product", (pid, name, store)),),
+                negations=(
+                    NegatedConjunction(
+                        Conjunction(atoms=(Atom("T_Rating", (rid, pid, code)),))
+                    ),
+                ),
+            ),
+            name=f"vf{j}",
+        )
+        id1, id2, n = Variable("id1"), Variable("id2"), Variable("n")
+        constraints.append(
+            egd(
+                Conjunction(
+                    atoms=(
+                        Atom(view_name, (id1, n)),
+                        Atom(view_name, (id2, n)),
+                    )
+                ),
+                (Equality(id1, id2),),
+                name=f"ef{j}",
+            )
+        )
+    return MappingScenario(
+        source_schema=source_schema,
+        target_schema=target_schema,
+        mappings=running_example.build_mappings(),
+        target_views=views,
+        target_constraints=constraints,
+        name=f"flagged-{flags}",
+    )
+
+
+def flagged_instance(
+    products: int = 10,
+    name_pairs: int = 2,
+    seed: int = 0,
+) -> Instance:
+    """Source data for :func:`flagged_scenario`.
+
+    ``name_pairs`` pairs of *average* products share a name: each pair
+    violates every flag key (no flag ratings exist initially), firing
+    each ded once per pair.  Average products are used so the
+    classification machinery stays satisfiable.
+    """
+    instance = running_example.generate_source_instance(
+        products=products, stores=3, seed=seed, rating_weights=(0.3, 0.4, 0.3)
+    )
+    next_id = 10_000
+    rng = random.Random(seed + 1)
+    stores = [f"store_{i}" for i in range(3)]
+    for i in range(name_pairs):
+        for __ in range(2):
+            instance.add_row(
+                "S_Product", next_id, f"pair_{i}", rng.choice(stores), 3
+            )
+            next_id += 1
+    return instance
+
+
+# ---------------------------------------------------------------------------
+# Clean-up family (the paper's "poor design" experience)
+# ---------------------------------------------------------------------------
+
+
+def cleanup_scenario() -> MappingScenario:
+    """A denormalized source cleaned up through target views.
+
+    Source: ``Orders(oid, customer, status)`` with status codes mixed
+    into the data ('A' active, 'X' cancelled).  Target: ``T_Order`` and
+    a separate ``T_Cancelled`` tombstone table.  The semantic schema
+    offers ``ValidOrder`` (an order with no tombstone — negation) and
+    ``CancelledOrder``; mappings classify by the source status code.
+    """
+    source_schema = Schema("orders_src")
+    source_schema.add_relation(
+        "Orders", [("oid", "int"), ("customer", "string"), ("status", "string")]
+    )
+    target_schema = Schema("orders_tgt")
+    target_schema.add_relation("T_Order", [("oid", "int"), ("customer", "string")])
+    target_schema.add_relation("T_Cancelled", [("oid", "int")])
+
+    views = ViewProgram(target_schema)
+    oid, customer = Variable("oid"), Variable("customer")
+    views.define(
+        Atom("ValidOrder", (oid, customer)),
+        Conjunction(
+            atoms=(Atom("T_Order", (oid, customer)),),
+            negations=(
+                NegatedConjunction(
+                    Conjunction(atoms=(Atom("T_Cancelled", (oid,)),))
+                ),
+            ),
+        ),
+        name="v_valid",
+    )
+    views.define(
+        Atom("CancelledOrder", (oid, customer)),
+        Conjunction(
+            atoms=(
+                Atom("T_Order", (oid, customer)),
+                Atom("T_Cancelled", (oid,)),
+            )
+        ),
+        name="v_cancelled",
+    )
+
+    status = Variable("status")
+    order = Atom("Orders", (oid, customer, status))
+    mappings = [
+        tgd(
+            Conjunction(
+                atoms=(order,),
+                comparisons=(Comparison("!=", status, Constant("X")),),
+            ),
+            (Atom("ValidOrder", (oid, customer)),),
+            name="mc0",
+        ),
+        tgd(
+            Conjunction(
+                atoms=(order,),
+                comparisons=(Comparison("=", status, Constant("X")),),
+            ),
+            (Atom("CancelledOrder", (oid, customer)),),
+            name="mc1",
+        ),
+    ]
+    oid2, customer2 = Variable("oid2"), Variable("customer2")
+    constraints = [
+        egd(
+            Conjunction(
+                atoms=(
+                    Atom("ValidOrder", (oid, customer)),
+                    Atom("ValidOrder", (oid, customer2)),
+                )
+            ),
+            (Equality(customer, customer2),),
+            name="ec0",
+        )
+    ]
+    return MappingScenario(
+        source_schema=source_schema,
+        target_schema=target_schema,
+        mappings=mappings,
+        target_views=views,
+        target_constraints=constraints,
+        name="cleanup",
+    )
+
+
+def cleanup_instance(orders: int = 50, cancelled_share: float = 0.3, seed: int = 0) -> Instance:
+    """Source data for :func:`cleanup_scenario`."""
+    rng = random.Random(seed)
+    scenario_schema = cleanup_scenario().source_schema
+    instance = Instance(scenario_schema)
+    for i in range(orders):
+        status = "X" if rng.random() < cancelled_share else rng.choice(["A", "P"])
+        instance.add_row("Orders", i, f"cust_{i % 17}", status)
+    return instance
+
+
+# ---------------------------------------------------------------------------
+# Randomized scenarios (property tests)
+# ---------------------------------------------------------------------------
+
+
+def random_scenario(
+    seed: int = 0,
+    relations: int = 2,
+    views: int = 3,
+    mappings: int = 3,
+    negation_probability: float = 0.4,
+    union_probability: float = 0.2,
+    with_keys: bool = True,
+    instance_rows: int = 12,
+) -> GeneratedScenario:
+    """A random but always-well-formed scenario with a matching instance.
+
+    The construction keeps every generated object safe by design: view
+    bodies are anchored on a positive atom binding all head variables,
+    negations only constrain head variables, and mapping premises cover
+    every conclusion frontier variable.  Used by the hypothesis suite to
+    exercise the soundness property end-to-end.
+    """
+    rng = random.Random(seed)
+    source_schema = Schema(f"rnd_src_{seed}")
+    target_schema = Schema(f"rnd_tgt_{seed}")
+    arities = {}
+    for i in range(relations):
+        arity = rng.randint(2, 3)
+        arities[f"S{i}"] = arity
+        source_schema.add_relation(
+            f"S{i}", [(f"a{j}", "int") for j in range(arity)]
+        )
+        target_schema.add_relation(
+            f"T{i}", [(f"b{j}", "int") for j in range(arity)]
+        )
+
+    program = ViewProgram(target_schema)
+    view_names: List[Tuple[str, int]] = []
+    for v in range(views):
+        base = rng.randrange(relations)
+        base_arity = arities[f"S{base}"]
+        head_vars = tuple(Variable(f"x{j}") for j in range(base_arity))
+        view_name = f"V{v}"
+        rule_count = 2 if rng.random() < union_probability else 1
+        for r in range(rule_count):
+            body_atoms = [Atom(f"T{base}", head_vars)]
+            negations = []
+            if rng.random() < negation_probability:
+                neg_base = rng.randrange(relations)
+                neg_arity = arities[f"S{neg_base}"]
+                neg_terms: List = [Variable(f"z{j}") for j in range(neg_arity)]
+                # Anchor the negation on the first head variable so it is
+                # correlated and meaningful.
+                neg_terms[0] = head_vars[0]
+                negations.append(
+                    NegatedConjunction(
+                        Conjunction(atoms=(Atom(f"T{neg_base}", tuple(neg_terms)),))
+                    )
+                )
+            program.define(
+                Atom(view_name, head_vars),
+                Conjunction(atoms=tuple(body_atoms), negations=tuple(negations)),
+                name=f"v{v}r{r}",
+            )
+        view_names.append((view_name, base_arity))
+
+    mapping_deps: List[Dependency] = []
+    for m in range(mappings):
+        src = rng.randrange(relations)
+        src_arity = arities[f"S{src}"]
+        premise_vars = tuple(Variable(f"p{j}") for j in range(src_arity))
+        premise = Conjunction(atoms=(Atom(f"S{src}", premise_vars),))
+        view_name, view_arity = rng.choice(view_names)
+        conclusion_terms = tuple(
+            premise_vars[j % src_arity] for j in range(view_arity)
+        )
+        mapping_deps.append(
+            tgd(premise, (Atom(view_name, conclusion_terms),), name=f"m{m}")
+        )
+
+    constraints: List[Dependency] = []
+    if with_keys and view_names:
+        view_name, view_arity = view_names[0]
+        if view_arity >= 2:
+            left = tuple(Variable(f"k{j}") for j in range(view_arity))
+            right = tuple(
+                left[j] if j == 0 else Variable(f"l{j}") for j in range(view_arity)
+            )
+            constraints.append(
+                egd(
+                    Conjunction(
+                        atoms=(
+                            Atom(view_name, left),
+                            Atom(view_name, right),
+                        )
+                    ),
+                    (Equality(left[1], right[1]),),
+                    name="k0",
+                )
+            )
+
+    scenario = MappingScenario(
+        source_schema=source_schema,
+        target_schema=target_schema,
+        mappings=mapping_deps,
+        target_views=program,
+        target_constraints=constraints,
+        name=f"random-{seed}",
+    )
+
+    instance = Instance(source_schema)
+    for __ in range(instance_rows):
+        relation = f"S{rng.randrange(relations)}"
+        instance.add_row(
+            relation,
+            *[rng.randint(0, 5) for _j in range(arities[relation])],
+        )
+    return GeneratedScenario(scenario=scenario, instance=instance)

@@ -1,0 +1,188 @@
+"""Figure-1-style partition hierarchies ({disjoint, complete} classes).
+
+The running example's semantic schema partitions ``Product`` into
+popular / average / unpopular.  This module generalizes that pattern to
+``width`` explicit subclasses plus a *default* subclass defined by
+negation (everything not in an explicit class — the ``{complete}``
+annotation), which is how UML-ish {disjoint, complete} generalizations
+compile to Datalog with negation.
+
+The generator is the scaling knob for the analysis benchmarks: the
+default class's view has ``width`` negations, so a key constraint on it
+rewrites into a ded with ``width + 1`` disjuncts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.scenario import MappingScenario
+from repro.datalog.program import ViewProgram
+from repro.logic.atoms import (
+    Atom,
+    Comparison,
+    Conjunction,
+    Equality,
+    NegatedConjunction,
+)
+from repro.logic.dependencies import Dependency, egd, tgd
+from repro.logic.terms import Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+
+__all__ = ["partition_scenario", "partition_instance"]
+
+
+def partition_scenario(
+    width: int = 3,
+    default_key: bool = False,
+    class_keys: bool = False,
+) -> MappingScenario:
+    """A {disjoint, complete} partition with ``width`` explicit classes.
+
+    * Source: ``S_Item(id, name, cls)`` where ``cls ∈ 0..width`` (0 is
+      the default class).
+    * Target: ``T_Item(id, name)`` and a tag table ``T_Tag(item, cls)``.
+    * Views: ``Class_i(id, name) ⇐ T_Item, T_Tag(id, i)`` for each
+      explicit class, and ``DefaultClass(id, name) ⇐ T_Item,
+      ¬Class_1(id, name), ..., ¬Class_width(id, name)``.
+    * Mappings: one per class on the source ``cls`` code.
+    * ``class_keys`` adds a name-key egd per explicit class (conjunctive
+      — rewrites to plain egds); ``default_key`` adds a name key on the
+      default class (negation — rewrites to a ``width + 1``-disjunct
+      ded).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    source_schema = Schema(f"part_src_{width}")
+    source_schema.add_relation(
+        "S_Item", [("id", "int"), ("name", "string"), ("cls", "int")]
+    )
+    target_schema = Schema(f"part_tgt_{width}")
+    target_schema.add_relation("T_Item", [("id", "int"), ("name", "string")])
+    target_schema.add_relation("T_Tag", [("item", "int"), ("cls", "int")])
+
+    views = ViewProgram(target_schema)
+    item_id, name = Variable("id"), Variable("name")
+    for i in range(1, width + 1):
+        views.define(
+            Atom(f"Class_{i}", (item_id, name)),
+            Conjunction(
+                atoms=(
+                    Atom("T_Item", (item_id, name)),
+                    Atom("T_Tag", (item_id, Constant(i))),
+                )
+            ),
+            name=f"vc{i}",
+        )
+    views.define(
+        Atom("DefaultClass", (item_id, name)),
+        Conjunction(
+            atoms=(Atom("T_Item", (item_id, name)),),
+            negations=tuple(
+                NegatedConjunction(
+                    Conjunction(atoms=(Atom(f"Class_{i}", (item_id, name)),))
+                )
+                for i in range(1, width + 1)
+            ),
+        ),
+        name="vd",
+    )
+
+    cls = Variable("cls")
+    item = Atom("S_Item", (item_id, name, cls))
+    mappings: List[Dependency] = []
+    for i in range(1, width + 1):
+        mappings.append(
+            tgd(
+                Conjunction(
+                    atoms=(item,),
+                    comparisons=(Comparison("=", cls, Constant(i)),),
+                ),
+                (Atom(f"Class_{i}", (item_id, name)),),
+                name=f"mp{i}",
+            )
+        )
+    mappings.append(
+        tgd(
+            Conjunction(
+                atoms=(item,),
+                comparisons=(Comparison("=", cls, Constant(0)),),
+            ),
+            (Atom("DefaultClass", (item_id, name)),),
+            name="mp0",
+        )
+    )
+
+    constraints: List[Dependency] = []
+    id1, id2, n = Variable("id1"), Variable("id2"), Variable("n")
+    if class_keys:
+        for i in range(1, width + 1):
+            constraints.append(
+                egd(
+                    Conjunction(
+                        atoms=(
+                            Atom(f"Class_{i}", (id1, n)),
+                            Atom(f"Class_{i}", (id2, n)),
+                        )
+                    ),
+                    (Equality(id1, id2),),
+                    name=f"kc{i}",
+                )
+            )
+    if default_key:
+        constraints.append(
+            egd(
+                Conjunction(
+                    atoms=(
+                        Atom("DefaultClass", (id1, n)),
+                        Atom("DefaultClass", (id2, n)),
+                    )
+                ),
+                (Equality(id1, id2),),
+                name="kd",
+            )
+        )
+
+    return MappingScenario(
+        source_schema=source_schema,
+        target_schema=target_schema,
+        mappings=mappings,
+        target_views=views,
+        target_constraints=constraints,
+        name=f"partition-{width}",
+    )
+
+
+def partition_instance(
+    width: int = 3,
+    items: int = 30,
+    seed: int = 0,
+    default_share: float = 0.25,
+    duplicate_names: int = 0,
+) -> Instance:
+    """Source data for :func:`partition_scenario`.
+
+    ``duplicate_names`` injects same-name pairs *within the default
+    class* — the pattern that fires the default key's ded.
+    """
+    rng = random.Random(seed)
+    schema = Schema(f"part_src_{width}")
+    schema.add_relation(
+        "S_Item", [("id", "int"), ("name", "string"), ("cls", "int")]
+    )
+    instance = Instance(schema)
+    next_id = 0
+    for i in range(items):
+        if rng.random() < default_share:
+            cls = 0
+        else:
+            cls = rng.randint(1, width)
+        instance.add_row("S_Item", next_id, f"item_{i}", cls)
+        next_id += 1
+    for i in range(duplicate_names):
+        for __ in range(2):
+            instance.add_row("S_Item", next_id, f"dup_{i}", 0)
+            next_id += 1
+    return instance

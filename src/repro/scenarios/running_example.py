@@ -1,0 +1,320 @@
+"""The paper's running example (Section 2), faithful to the text.
+
+Source schema::
+
+    S-Product(id, name, store, rating)
+    S-Store(name, location)
+
+Target schema::
+
+    T-Product(id, name, store)
+    T-Store(id, name, address, phone)
+    T-Rating(id, product, thumbsUp)
+
+Target semantic schema (Figure 1) defined by views v1–v6 in
+non-recursive Datalog with negation, mappings m0–m3 (tgds with
+comparison atoms classifying products by source rating: < 2 unpopular,
+[2, 4) average, >= 4 popular), and the key egd e0 on ``PopularProduct``
+whose rewriting is the paper's ded ``d0``.
+
+Relation names use ``_`` instead of ``-`` (``S_Product`` for
+``S-Product``) since ``-`` is not an identifier character in the DSL.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.scenario import MappingScenario
+from repro.datalog.program import ViewProgram
+from repro.logic.atoms import Atom, Comparison, Conjunction, Equality, NegatedConjunction
+from repro.logic.dependencies import Dependency, egd, tgd
+from repro.logic.terms import Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+
+__all__ = [
+    "build_source_schema",
+    "build_target_schema",
+    "build_target_views",
+    "build_mappings",
+    "build_key_constraint",
+    "build_scenario",
+    "generate_source_instance",
+]
+
+THUMBS_DOWN = 0
+THUMBS_UP = 1
+
+
+def build_source_schema() -> Schema:
+    """``S-Product`` and ``S-Store`` exactly as in the paper."""
+    schema = Schema("source")
+    schema.add_relation(
+        "S_Product",
+        [("id", "int"), ("name", "string"), ("store", "string"), ("rating", "int")],
+    )
+    schema.add_relation("S_Store", [("name", "string"), ("location", "string")])
+    return schema
+
+
+def build_target_schema() -> Schema:
+    """``T-Product``, ``T-Store`` and ``T-Rating``."""
+    schema = Schema("target")
+    schema.add_relation(
+        "T_Product", [("id", "int"), ("name", "string"), ("store", "any")]
+    )
+    schema.add_relation(
+        "T_Store",
+        [("id", "any"), ("name", "string"), ("address", "string"), ("phone", "string")],
+    )
+    schema.add_relation(
+        "T_Rating", [("id", "any"), ("product", "int"), ("thumbsUp", "int")]
+    )
+    return schema
+
+
+def build_target_views(target_schema: Optional[Schema] = None) -> ViewProgram:
+    """Views v1–v6 of Section 2 (Figure 1's semantic schema)."""
+    schema = target_schema or build_target_schema()
+    program = ViewProgram(schema)
+    pid, name, store = Variable("pid"), Variable("name"), Variable("store")
+    rid = Variable("rid")
+    vid, addr, phone = Variable("id"), Variable("addr"), Variable("phone")
+    pname, stid = Variable("pname"), Variable("stid")
+
+    # v1: Product(id, name) <= T-Product(id, name, store)
+    program.define(
+        Atom("Product", (vid, name)),
+        Conjunction(atoms=(Atom("T_Product", (vid, name, store)),)),
+        name="v1",
+    )
+    # v2: PopularProduct(pid, name) <=
+    #       T-Product(pid, name, store), not T-Rating(rid, pid, 0)
+    program.define(
+        Atom("PopularProduct", (pid, name)),
+        Conjunction(
+            atoms=(Atom("T_Product", (pid, name, store)),),
+            negations=(
+                NegatedConjunction(
+                    Conjunction(
+                        atoms=(Atom("T_Rating", (rid, pid, Constant(THUMBS_DOWN))),)
+                    )
+                ),
+            ),
+        ),
+        name="v2",
+    )
+    # v3: AvgProduct(pid, name) <=
+    #       T-Product(pid, name, store), T-Rating(rid, pid, 1),
+    #       not PopularProduct(pid, name)
+    program.define(
+        Atom("AvgProduct", (pid, name)),
+        Conjunction(
+            atoms=(
+                Atom("T_Product", (pid, name, store)),
+                Atom("T_Rating", (rid, pid, Constant(THUMBS_UP))),
+            ),
+            negations=(
+                NegatedConjunction(
+                    Conjunction(atoms=(Atom("PopularProduct", (pid, name)),))
+                ),
+            ),
+        ),
+        name="v3",
+    )
+    # v4: UnpopularProduct(pid, name) <=
+    #       T-Product(pid, name, store),
+    #       not AvgProduct(pid, name), not PopularProduct(pid, name)
+    program.define(
+        Atom("UnpopularProduct", (pid, name)),
+        Conjunction(
+            atoms=(Atom("T_Product", (pid, name, store)),),
+            negations=(
+                NegatedConjunction(
+                    Conjunction(atoms=(Atom("AvgProduct", (pid, name)),))
+                ),
+                NegatedConjunction(
+                    Conjunction(atoms=(Atom("PopularProduct", (pid, name)),))
+                ),
+            ),
+        ),
+        name="v4",
+    )
+    # v5: SoldAt(pid, stid) <= T-Product(pid, pname, stid)
+    program.define(
+        Atom("SoldAt", (pid, stid)),
+        Conjunction(atoms=(Atom("T_Product", (pid, pname, stid)),)),
+        name="v5",
+    )
+    # v6: Store(id, name, addr) <= T-Store(id, name, addr, phone)
+    program.define(
+        Atom("Store", (vid, name, addr)),
+        Conjunction(atoms=(Atom("T_Store", (vid, name, addr, phone)),)),
+        name="v6",
+    )
+    return program
+
+
+def build_mappings() -> List[Dependency]:
+    """Tgds m0–m3 of Section 2."""
+    pid, name, store = Variable("pid"), Variable("name"), Variable("store")
+    rating, location, sid = Variable("rating"), Variable("location"), Variable("sid")
+    product = Atom("S_Product", (pid, name, store, rating))
+
+    m0 = tgd(
+        Conjunction(
+            atoms=(product,),
+            comparisons=(Comparison("<", rating, Constant(2)),),
+        ),
+        (Atom("UnpopularProduct", (pid, name)),),
+        name="m0",
+    )
+    m1 = tgd(
+        Conjunction(
+            atoms=(product,),
+            comparisons=(
+                Comparison(">=", rating, Constant(2)),
+                Comparison("<", rating, Constant(4)),
+            ),
+        ),
+        (Atom("AvgProduct", (pid, name)),),
+        name="m1",
+    )
+    m2 = tgd(
+        Conjunction(
+            atoms=(product,),
+            comparisons=(Comparison(">=", rating, Constant(4)),),
+        ),
+        (Atom("PopularProduct", (pid, name)),),
+        name="m2",
+    )
+    m3 = tgd(
+        Conjunction(
+            atoms=(product, Atom("S_Store", (store, location))),
+        ),
+        (
+            Atom("SoldAt", (pid, sid)),
+            Atom("Store", (sid, store, location)),
+        ),
+        name="m3",
+    )
+    return [m0, m1, m2, m3]
+
+
+def build_key_constraint() -> Dependency:
+    """The egd e0: a key on ``PopularProduct`` names."""
+    id1, id2, n = Variable("id1"), Variable("id2"), Variable("n")
+    return egd(
+        Conjunction(
+            atoms=(
+                Atom("PopularProduct", (id1, n)),
+                Atom("PopularProduct", (id2, n)),
+            )
+        ),
+        (Equality(id1, id2),),
+        name="e0",
+    )
+
+
+def build_fk_constraint() -> Dependency:
+    """A foreign key over the semantic schema (the paper's footnote 1).
+
+    Every ``SoldAt`` association must point at an existing ``Store``:
+    ``SoldAt(pid, stid) → ∃n, a: Store(stid, n, a)`` — an inclusion
+    dependency between views, which the rewriter compiles into a target
+    tgd over the physical tables.
+    """
+    pid, stid, n, a = (
+        Variable("pid"),
+        Variable("stid"),
+        Variable("sn"),
+        Variable("sa"),
+    )
+    return tgd(
+        Conjunction(atoms=(Atom("SoldAt", (pid, stid)),)),
+        (Atom("Store", (stid, n, a)),),
+        name="fk0",
+    )
+
+
+def build_scenario(include_key: bool = True, include_fk: bool = False) -> MappingScenario:
+    """The complete running example as a :class:`MappingScenario`.
+
+    ``include_key=False`` drops e0, which makes the rewriting ded-free —
+    handy for isolating the tgd pipeline.  ``include_fk=True`` adds the
+    footnote-1 foreign key ``SoldAt → Store`` over the semantic schema.
+    """
+    source_schema = build_source_schema()
+    target_schema = build_target_schema()
+    views = build_target_views(target_schema)
+    constraints = [build_key_constraint()] if include_key else []
+    if include_fk:
+        constraints.append(build_fk_constraint())
+    return MappingScenario(
+        source_schema=source_schema,
+        target_schema=target_schema,
+        mappings=build_mappings(),
+        target_views=views,
+        target_constraints=constraints,
+        name="running-example",
+    )
+
+
+def generate_source_instance(
+    products: int = 20,
+    stores: int = 5,
+    seed: int = 0,
+    popular_name_conflicts: int = 0,
+    benign_name_pairs: int = 0,
+    rating_weights: Tuple[float, float, float] = (0.3, 0.4, 0.3),
+) -> Instance:
+    """A synthetic source instance for the running example.
+
+    ``popular_name_conflicts`` injects pairs of *popular* products that
+    share a name but not an id — each pair violates e0 and makes the
+    scenario unsatisfiable (the branches of the rewritten ded ``d0`` all
+    fail), which is how the failure-heavy experiments are driven.
+    ``benign_name_pairs`` injects popular/unpopular pairs sharing a name
+    — these satisfy ``d0`` through its rating disjuncts without firing.
+    ``rating_weights`` sets the unpopular/average/popular proportions.
+    """
+    rng = random.Random(seed)
+    schema = build_source_schema()
+    instance = Instance(schema)
+    store_names = [f"store_{i}" for i in range(max(1, stores))]
+    for i, store_name in enumerate(store_names):
+        instance.add_row("S_Store", store_name, f"city_{i % 7}")
+
+    next_id = 0
+
+    def add_product(name: str, rating: int) -> None:
+        nonlocal next_id
+        instance.add_row(
+            "S_Product", next_id, name, rng.choice(store_names), rating
+        )
+        next_id += 1
+
+    bands = [(0, 1), (2, 3), (4, 5)]
+    for i in range(products):
+        roll = rng.random()
+        if roll < rating_weights[0]:
+            band = bands[0]
+        elif roll < rating_weights[0] + rating_weights[1]:
+            band = bands[1]
+        else:
+            band = bands[2]
+        add_product(f"product_{i}", rng.randint(*band))
+
+    for i in range(popular_name_conflicts):
+        conflict_name = f"conflict_{i}"
+        add_product(conflict_name, 5)
+        add_product(conflict_name, 4)
+
+    for i in range(benign_name_pairs):
+        pair_name = f"benign_{i}"
+        add_product(pair_name, 5)
+        add_product(pair_name, 0)
+
+    return instance

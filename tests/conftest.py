@@ -1,0 +1,58 @@
+"""Shared fixtures: the paper's running example and small instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rewriter import rewrite
+from repro.core.scenario import MappingScenario
+from repro.relational.instance import Instance
+from repro.scenarios.running_example import (
+    build_scenario,
+    build_source_schema,
+    build_target_schema,
+    build_target_views,
+    generate_source_instance,
+)
+
+
+@pytest.fixture(scope="session")
+def running_scenario() -> MappingScenario:
+    return build_scenario()
+
+
+@pytest.fixture(scope="session")
+def running_scenario_no_key() -> MappingScenario:
+    return build_scenario(include_key=False)
+
+
+@pytest.fixture(scope="session")
+def rewritten(running_scenario):
+    return rewrite(running_scenario)
+
+
+@pytest.fixture(scope="session")
+def rewritten_no_key(running_scenario_no_key):
+    return rewrite(running_scenario_no_key)
+
+
+@pytest.fixture()
+def small_source() -> Instance:
+    """Three products: one popular (5), one average (3), one unpopular (0)."""
+    schema = build_source_schema()
+    instance = Instance(schema)
+    instance.add_row("S_Store", "acme", "rome")
+    instance.add_row("S_Product", 1, "alpha", "acme", 5)
+    instance.add_row("S_Product", 2, "beta", "acme", 3)
+    instance.add_row("S_Product", 3, "gamma", "acme", 0)
+    return instance
+
+
+@pytest.fixture(scope="session")
+def target_views():
+    return build_target_views()
+
+
+@pytest.fixture()
+def medium_source() -> Instance:
+    return generate_source_instance(products=30, stores=4, seed=11)

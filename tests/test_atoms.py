@@ -1,0 +1,194 @@
+"""Unit tests for atoms, comparisons, equalities and conjunctions."""
+
+import pytest
+
+from repro.errors import LogicError, TypingError
+from repro.logic.atoms import (
+    Atom,
+    Comparison,
+    Conjunction,
+    Equality,
+    NegatedConjunction,
+)
+from repro.logic.terms import Constant, Null, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestAtom:
+    def test_terms_tuple_coerced(self):
+        atom = Atom("R", [x, Constant(1)])
+        assert isinstance(atom.terms, tuple)
+        assert atom.arity == 2
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(LogicError):
+            Atom("", [x])
+
+    def test_ground(self):
+        assert Atom("R", [Constant(1), Null(1)]).is_ground()
+        assert not Atom("R", [Constant(1), x]).is_ground()
+
+    def test_extractors(self):
+        atom = Atom("R", [x, Constant(1), Null(2), x])
+        assert list(atom.variables()) == [x, x]
+        assert list(atom.constants()) == [Constant(1)]
+        assert list(atom.nulls()) == [Null(2)]
+
+    def test_str(self):
+        assert str(Atom("R", [x, Constant("a")])) == "R(x, 'a')"
+
+    def test_equality_and_hash(self):
+        assert Atom("R", [x]) == Atom("R", (x,))
+        assert len({Atom("R", [x]), Atom("R", [x])}) == 1
+
+
+class TestComparison:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(LogicError):
+            Comparison("~", x, y)
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("=", 1, 1, True),
+            ("=", 1, 2, False),
+            ("!=", 1, 2, True),
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 1, 2, False),
+        ],
+    )
+    def test_numeric_evaluation(self, op, left, right, expected):
+        comparison = Comparison(op, Constant(left), Constant(right))
+        assert comparison.evaluate() is expected
+
+    def test_string_ordering(self):
+        assert Comparison("<", Constant("a"), Constant("b")).evaluate()
+
+    def test_int_float_mix(self):
+        assert Comparison("<", Constant(1), Constant(1.5)).evaluate()
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(TypingError):
+            Comparison("<", Constant("a"), Constant(1)).evaluate()
+
+    def test_not_ground_raises(self):
+        with pytest.raises(TypingError):
+            Comparison("=", x, Constant(1)).evaluate()
+
+    def test_null_equality_by_identity(self):
+        assert Comparison("=", Null(1), Null(1)).evaluate()
+        assert Comparison("!=", Null(1), Null(2)).evaluate()
+        assert not Comparison("=", Null(1), Constant(1)).evaluate()
+
+    def test_null_ordering_raises(self):
+        with pytest.raises(TypingError):
+            Comparison("<", Null(1), Constant(2)).evaluate()
+
+    def test_negated(self):
+        assert Comparison("<", x, y).negated() == Comparison(">=", x, y)
+        assert Comparison("=", x, y).negated() == Comparison("!=", x, y)
+        roundtrip = Comparison("<=", x, y).negated().negated()
+        assert roundtrip == Comparison("<=", x, y)
+
+    def test_variables(self):
+        assert set(Comparison("<", x, Constant(2)).variables()) == {x}
+
+
+class TestEquality:
+    def test_trivial(self):
+        assert Equality(x, x).is_trivial()
+        assert not Equality(x, y).is_trivial()
+
+    def test_variables(self):
+        assert set(Equality(x, Constant(1)).variables()) == {x}
+
+    def test_str(self):
+        assert str(Equality(x, y)) == "x = y"
+
+
+class TestConjunction:
+    def atom(self, name="R", terms=(x, y)):
+        return Atom(name, terms)
+
+    def test_empty_is_true(self):
+        assert Conjunction().is_empty()
+        assert str(Conjunction()) == "true"
+
+    def test_positive_variables_vs_all(self):
+        body = Conjunction(
+            atoms=(Atom("R", (x,)),),
+            comparisons=(Comparison("<", x, y),),
+            negations=(
+                NegatedConjunction(Conjunction(atoms=(Atom("S", (z,)),))),
+            ),
+        )
+        assert body.positive_variables() == frozenset({x})
+        assert body.variables() == frozenset({x, y, z})
+
+    def test_negation_depth(self):
+        flat = Conjunction(atoms=(self.atom(),))
+        assert flat.negation_depth() == 0
+        one = Conjunction(negations=(NegatedConjunction(flat),))
+        assert one.negation_depth() == 1
+        two = Conjunction(negations=(NegatedConjunction(one),))
+        assert two.negation_depth() == 2
+
+    def test_relations_recursive(self):
+        body = Conjunction(
+            atoms=(Atom("A", (x,)),),
+            negations=(
+                NegatedConjunction(
+                    Conjunction(
+                        atoms=(Atom("B", (x,)),),
+                        negations=(
+                            NegatedConjunction(
+                                Conjunction(atoms=(Atom("C", (x,)),))
+                            ),
+                        ),
+                    )
+                ),
+            ),
+        )
+        assert body.relations() == frozenset({"A", "B", "C"})
+
+    def test_constants_recursive(self):
+        body = Conjunction(
+            atoms=(Atom("A", (Constant(1),)),),
+            comparisons=(Comparison("<", x, Constant(2)),),
+            negations=(
+                NegatedConjunction(
+                    Conjunction(atoms=(Atom("B", (Constant(3),)),))
+                ),
+            ),
+        )
+        assert body.constants() == frozenset(
+            {Constant(1), Constant(2), Constant(3)}
+        )
+
+    def test_extend_preserves_order(self):
+        first = Conjunction(atoms=(Atom("A", (x,)),))
+        second = Conjunction(atoms=(Atom("B", (y,)),))
+        combined = first.extend(second)
+        assert [a.relation for a in combined.atoms] == ["A", "B"]
+
+    def test_is_positive(self):
+        assert Conjunction(atoms=(self.atom(),)).is_positive()
+        negated = Conjunction(
+            negations=(NegatedConjunction(Conjunction(atoms=(self.atom(),))),)
+        )
+        assert not negated.is_positive()
+
+
+class TestNegatedConjunction:
+    def test_local_variables(self):
+        inner = Conjunction(atoms=(Atom("R", (x, y)),))
+        negation = NegatedConjunction(inner)
+        assert negation.local_variables([x]) == frozenset({y})
+        assert negation.local_variables([x, y]) == frozenset()
+
+    def test_str(self):
+        inner = Conjunction(atoms=(Atom("R", (x,)),))
+        assert str(NegatedConjunction(inner)) == "not (R(x))"

@@ -1,0 +1,166 @@
+"""Tests for the greedy ded chase: selections, heuristics, soundness."""
+
+import pytest
+
+from repro.chase.ded import GreedyDedChase, branch_cost, greedy_ded_chase
+from repro.chase.result import ChaseStatus
+from repro.chase.universal import satisfies
+from repro.logic.atoms import Atom, Conjunction, Equality
+from repro.logic.dependencies import Disjunct, ded, tgd
+from repro.logic.terms import Constant, Variable
+from repro.relational.instance import Instance
+
+x, y = Variable("x"), Variable("y")
+
+
+def c(v):
+    return Constant(v)
+
+
+def make_ded(name="d"):
+    """S(x, y) -> x = y | T(x) — equality branch first by heuristic."""
+    return ded(
+        Conjunction(atoms=(Atom("S", (x, y)),)),
+        (
+            Disjunct(atoms=(Atom("T", (x,)),)),
+            Disjunct(equalities=(Equality(x, y),)),
+        ),
+        name=name,
+    )
+
+
+class TestBranchCost:
+    def test_equalities_cheaper_than_atoms(self):
+        eq_branch = Disjunct(equalities=(Equality(x, y),))
+        atom_branch = Disjunct(atoms=(Atom("T", (x,)),))
+        assert branch_cost(eq_branch) < branch_cost(atom_branch)
+
+    def test_fewer_atoms_cheaper(self):
+        one = Disjunct(atoms=(Atom("T", (x,)),))
+        two = Disjunct(atoms=(Atom("T", (x,)), Atom("U", (x,))))
+        assert branch_cost(one) < branch_cost(two)
+
+
+class TestSelections:
+    def test_orders_equality_branch_first(self):
+        engine = GreedyDedChase([make_ded()], ["S"])
+        first = next(iter(engine.selections()))
+        # Branch 1 is the equality branch; the heuristic ranks it first.
+        assert first == (1,)
+
+    def test_selection_count_is_product(self):
+        engine = GreedyDedChase([make_ded("d1"), make_ded("d2")], ["S"])
+        assert len(list(engine.selections())) == 4
+
+    def test_rank_sum_ordering(self):
+        engine = GreedyDedChase([make_ded("d1"), make_ded("d2")], ["S"])
+        selections = list(engine.selections())
+        # First selection: both deds on their best (equality) branch.
+        assert selections[0] == (1, 1)
+        # Last: both on the costly branch.
+        assert selections[-1] == (0, 0)
+
+
+class TestGreedyRuns:
+    def test_equality_branch_succeeds_on_equal_pairs(self):
+        source = Instance()
+        source.add_row("S", 1, 1)
+        result = greedy_ded_chase([make_ded()], source, ["S"])
+        assert result.ok
+        assert result.scenarios_tried == 1
+        # Already satisfied: no facts created.
+        assert result.target.size("T") == 0
+
+    def test_falls_through_to_insert_branch(self):
+        source = Instance()
+        source.add_row("S", 1, 2)  # distinct constants: equality fails
+        result = greedy_ded_chase([make_ded()], source, ["S"])
+        assert result.ok
+        assert result.scenarios_tried == 2
+        assert result.target.facts("T") == frozenset({Atom("T", (c(1),))})
+        assert result.branch_selection == {"d": 0}
+
+    def test_already_satisfied_ded_never_fires(self):
+        source = Instance()
+        source.add_row("S", 1, 2)
+        source.add_row("T", 1)
+        result = greedy_ded_chase([make_ded()], source, ["S"])
+        assert result.ok
+        assert result.scenarios_tried == 1
+        assert result.stats.tgd_fires == 0
+
+    def test_all_branches_fail_reports_failure(self):
+        from repro.logic.dependencies import denial
+
+        block = denial(Conjunction(atoms=(Atom("T", (x,)),)), name="no_t")
+        source = Instance()
+        source.add_row("S", 1, 2)
+        result = greedy_ded_chase([make_ded(), block], source, ["S"])
+        assert result.status is ChaseStatus.FAILURE
+        assert result.scenarios_tried == 2
+        assert "derived scenarios failed" in result.failure_reason
+
+    def test_max_scenarios_budget(self):
+        from repro.logic.dependencies import denial
+
+        deds = [make_ded(f"d{i}") for i in range(4)]
+        block = denial(Conjunction(atoms=(Atom("T", (x,)),)), name="no_t")
+        source = Instance()
+        source.add_row("S", 1, 2)
+        result = GreedyDedChase(deds + [block], ["S"], max_scenarios=3).run(source)
+        assert not result.ok
+        assert result.scenarios_tried == 3
+
+    def test_standard_only_falls_back_to_plain_chase(self):
+        mapping = tgd(Conjunction(atoms=(Atom("S", (x, y)),)), (Atom("T", (x,)),))
+        source = Instance()
+        source.add_row("S", 1, 2)
+        result = greedy_ded_chase([mapping], source, ["S"])
+        assert result.ok
+        assert result.scenarios_tried == 1
+        assert result.target.size("T") == 1
+
+    def test_solution_satisfies_all_dependencies(self):
+        dependencies = [
+            tgd(Conjunction(atoms=(Atom("S", (x, y)),)), (Atom("T", (x,)),)),
+            make_ded(),
+        ]
+        source = Instance()
+        source.add_row("S", 1, 2)
+        source.add_row("S", 3, 3)
+        result = greedy_ded_chase(dependencies, source, ["S"])
+        assert result.ok
+        working = Instance()
+        for fact in source:
+            working.add(fact)
+        for fact in result.target:
+            working.add(fact)
+        assert satisfies(dependencies, working)
+
+
+class TestRunningExampleGreedy:
+    def test_benign_name_pairs_succeed_first_scenario(self, rewritten):
+        from repro.scenarios.running_example import generate_source_instance
+
+        source = generate_source_instance(
+            products=8, seed=3, benign_name_pairs=2
+        )
+        engine = GreedyDedChase(
+            rewritten.dependencies, rewritten.source_relations()
+        )
+        result = engine.run(source)
+        assert result.ok
+        assert result.scenarios_tried == 1
+
+    def test_popular_conflicts_fail_all_scenarios(self, rewritten):
+        from repro.scenarios.running_example import generate_source_instance
+
+        source = generate_source_instance(
+            products=4, seed=3, popular_name_conflicts=1
+        )
+        engine = GreedyDedChase(
+            rewritten.dependencies, rewritten.source_relations()
+        )
+        result = engine.run(source)
+        assert result.status is ChaseStatus.FAILURE
+        assert result.scenarios_tried == 3  # one per d0 branch

@@ -1,0 +1,300 @@
+"""Unit tests for the Datalog view language: programs, strata, evaluation."""
+
+import pytest
+
+from repro.datalog.evaluate import evaluate_view, materialize, view_extent
+from repro.datalog.program import Rule, ViewProgram
+from repro.datalog.stratify import (
+    check_nonrecursive,
+    depends_on,
+    evaluation_order,
+    predicate_graph,
+    strata,
+)
+from repro.errors import (
+    DatalogError,
+    RecursionError_,
+    UnknownPredicateError,
+    UnsafeDependencyError,
+)
+from repro.logic.atoms import Atom, Comparison, Conjunction, NegatedConjunction
+from repro.logic.terms import Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+@pytest.fixture()
+def base_schema():
+    schema = Schema("base")
+    schema.add_relation("R", [("a", "int"), ("b", "int")])
+    schema.add_relation("S", [("a", "int")])
+    return schema
+
+
+class TestProgramConstruction:
+    def test_shadowing_base_rejected(self, base_schema):
+        program = ViewProgram(base_schema)
+        with pytest.raises(DatalogError):
+            program.define(Atom("R", (x, y)), Conjunction(atoms=(Atom("S", (x,)),)))
+
+    def test_arity_consistency(self, base_schema):
+        program = ViewProgram(base_schema)
+        program.define(Atom("V", (x,)), Conjunction(atoms=(Atom("S", (x,)),)))
+        with pytest.raises(DatalogError):
+            program.define(
+                Atom("V", (x, y)), Conjunction(atoms=(Atom("R", (x, y)),))
+            )
+
+    def test_unsafe_head_rejected(self, base_schema):
+        program = ViewProgram(base_schema)
+        with pytest.raises(UnsafeDependencyError):
+            program.define(Atom("V", (x, y)), Conjunction(atoms=(Atom("S", (x,)),)))
+
+    def test_unsafe_comparison_rejected(self, base_schema):
+        program = ViewProgram(base_schema)
+        with pytest.raises(UnsafeDependencyError):
+            program.define(
+                Atom("V", (x,)),
+                Conjunction(
+                    atoms=(Atom("S", (x,)),),
+                    comparisons=(Comparison("<", y, Constant(1)),),
+                ),
+            )
+
+    def test_unknown_predicate_detected_on_validate(self, base_schema):
+        program = ViewProgram(base_schema)
+        program.define(Atom("V", (x,)), Conjunction(atoms=(Atom("Missing", (x,)),)))
+        with pytest.raises(UnknownPredicateError):
+            program.validate()
+
+    def test_union_and_negation_flags(self, base_schema):
+        program = ViewProgram(base_schema)
+        program.define(Atom("U", (x,)), Conjunction(atoms=(Atom("S", (x,)),)))
+        program.define(Atom("U", (x,)), Conjunction(atoms=(Atom("R", (x, y)),)))
+        program.define(
+            Atom("N", (x,)),
+            Conjunction(
+                atoms=(Atom("S", (x,)),),
+                negations=(
+                    NegatedConjunction(Conjunction(atoms=(Atom("R", (x, y)),))),
+                ),
+            ),
+        )
+        assert program.is_union_view("U")
+        assert not program.is_union_view("N")
+        assert program.has_negation("N")
+        assert not program.has_negation("U")
+        assert program.arity_of("U") == 1
+        assert program.arity_of("R") == 2
+
+
+class TestStratification:
+    def make_layers(self, base_schema):
+        program = ViewProgram(base_schema)
+        program.define(Atom("V1", (x,)), Conjunction(atoms=(Atom("S", (x,)),)))
+        program.define(
+            Atom("V2", (x,)),
+            Conjunction(
+                atoms=(Atom("S", (x,)),),
+                negations=(
+                    NegatedConjunction(Conjunction(atoms=(Atom("V1", (x,)),))),
+                ),
+            ),
+        )
+        program.define(Atom("V3", (x,)), Conjunction(atoms=(Atom("V2", (x,)),)))
+        return program
+
+    def test_recursion_detected(self, base_schema):
+        program = ViewProgram(base_schema)
+        program.define(Atom("A", (x,)), Conjunction(atoms=(Atom("B", (x,)),)))
+        program.define(Atom("B", (x,)), Conjunction(atoms=(Atom("A", (x,)),)))
+        with pytest.raises(RecursionError_):
+            check_nonrecursive(program)
+
+    def test_self_recursion_detected(self, base_schema):
+        program = ViewProgram(base_schema)
+        program.define(Atom("A", (x,)), Conjunction(atoms=(Atom("A", (x,)),)))
+        with pytest.raises(RecursionError_):
+            check_nonrecursive(program)
+
+    def test_recursion_through_negation_detected(self, base_schema):
+        program = ViewProgram(base_schema)
+        program.define(
+            Atom("A", (x,)),
+            Conjunction(
+                atoms=(Atom("S", (x,)),),
+                negations=(
+                    NegatedConjunction(Conjunction(atoms=(Atom("A", (x,)),))),
+                ),
+            ),
+        )
+        with pytest.raises(RecursionError_):
+            check_nonrecursive(program)
+
+    def test_evaluation_order_respects_dependencies(self, base_schema):
+        program = self.make_layers(base_schema)
+        order = evaluation_order(program)
+        assert order.index("V1") < order.index("V2") < order.index("V3")
+
+    def test_strata_negation_strictly_increases(self, base_schema):
+        program = self.make_layers(base_schema)
+        levels = strata(program)
+        assert levels["V2"] == levels["V1"] + 1
+        assert levels["V3"] == levels["V2"]
+
+    def test_predicate_graph_polarity(self, base_schema):
+        program = self.make_layers(base_schema)
+        edges = set(predicate_graph(program))
+        assert ("V2", "V1", True) in edges
+        assert ("V3", "V2", False) in edges
+
+    def test_double_negation_polarity(self, base_schema):
+        program = ViewProgram(base_schema)
+        inner = Conjunction(
+            atoms=(Atom("S", (x,)),),
+            negations=(
+                NegatedConjunction(Conjunction(atoms=(Atom("R", (x, y)),))),
+            ),
+        )
+        program.define(
+            Atom("D", (x,)),
+            Conjunction(
+                atoms=(Atom("S", (x,)),),
+                negations=(NegatedConjunction(inner),),
+            ),
+        )
+        edges = set(predicate_graph(program))
+        # R sits at nesting depth 2: positive again.
+        assert ("D", "R", False) in edges
+        assert ("D", "S", True) in edges  # inner S at depth 1
+
+    def test_depends_on(self, base_schema):
+        program = self.make_layers(base_schema)
+        assert depends_on(program, "V3") == frozenset({"V2", "V1"})
+        assert depends_on(program, "V1") == frozenset()
+
+
+class TestEvaluation:
+    def test_simple_projection(self, base_schema):
+        program = ViewProgram(base_schema)
+        program.define(Atom("V", (x,)), Conjunction(atoms=(Atom("R", (x, y)),)))
+        instance = Instance(base_schema)
+        instance.add_row("R", 1, 10)
+        instance.add_row("R", 1, 20)
+        instance.add_row("R", 2, 30)
+        extent = evaluate_view(program, instance, "V")
+        assert {a.terms[0].value for a in extent} == {1, 2}
+
+    def test_union_semantics(self, base_schema):
+        program = ViewProgram(base_schema)
+        program.define(Atom("U", (x,)), Conjunction(atoms=(Atom("S", (x,)),)))
+        program.define(Atom("U", (x,)), Conjunction(atoms=(Atom("R", (x, y)),)))
+        instance = Instance(base_schema)
+        instance.add_row("S", 1)
+        instance.add_row("R", 2, 0)
+        extent = evaluate_view(program, instance, "U")
+        assert {a.terms[0].value for a in extent} == {1, 2}
+
+    def test_stratified_negation(self, base_schema):
+        program = ViewProgram(base_schema)
+        program.define(Atom("V1", (x,)), Conjunction(atoms=(Atom("R", (x, y)),)))
+        program.define(
+            Atom("V2", (x,)),
+            Conjunction(
+                atoms=(Atom("S", (x,)),),
+                negations=(
+                    NegatedConjunction(Conjunction(atoms=(Atom("V1", (x,)),))),
+                ),
+            ),
+        )
+        instance = Instance(base_schema)
+        instance.add_row("S", 1)
+        instance.add_row("S", 2)
+        instance.add_row("R", 2, 99)
+        extent = evaluate_view(program, instance, "V2")
+        assert {a.terms[0].value for a in extent} == {1}
+
+    def test_constants_in_head(self, base_schema):
+        program = ViewProgram(base_schema)
+        program.define(
+            Atom("V", (x, Constant("tag"))),
+            Conjunction(atoms=(Atom("S", (x,)),)),
+        )
+        instance = Instance(base_schema)
+        instance.add_row("S", 5)
+        extent = evaluate_view(program, instance, "V")
+        assert extent[0].terms[1] == Constant("tag")
+
+    def test_materialize_include_base(self, base_schema):
+        program = ViewProgram(base_schema)
+        program.define(Atom("V", (x,)), Conjunction(atoms=(Atom("S", (x,)),)))
+        instance = Instance(base_schema)
+        instance.add_row("S", 1)
+        with_base = materialize(program, instance, include_base=True)
+        assert with_base.size("S") == 1 and with_base.size("V") == 1
+        without = materialize(program, instance)
+        assert without.size("S") == 0
+
+    def test_materialize_only_filter(self, base_schema):
+        program = ViewProgram(base_schema)
+        program.define(Atom("V1", (x,)), Conjunction(atoms=(Atom("S", (x,)),)))
+        program.define(Atom("V2", (x,)), Conjunction(atoms=(Atom("V1", (x,)),)))
+        instance = Instance(base_schema)
+        instance.add_row("S", 1)
+        only_v2 = materialize(program, instance, only=["V2"])
+        assert only_v2.size("V2") == 1 and only_v2.size("V1") == 0
+
+
+class TestRunningExampleViews:
+    """The paper's classification semantics, computed by the view engine."""
+
+    def build_target(self):
+        from repro.scenarios.running_example import (
+            build_target_schema,
+            build_target_views,
+        )
+
+        schema = build_target_schema()
+        program = build_target_views(schema)
+        instance = Instance(schema)
+        # Product 1: no thumbs-down -> popular.
+        instance.add_row("T_Product", 1, "alpha", "s1")
+        instance.add_row("T_Rating", 100, 1, 1)
+        # Product 2: thumbs-up and thumbs-down -> average.
+        instance.add_row("T_Product", 2, "beta", "s1")
+        instance.add_row("T_Rating", 101, 2, 1)
+        instance.add_row("T_Rating", 102, 2, 0)
+        # Product 3: only thumbs-down -> unpopular.
+        instance.add_row("T_Product", 3, "gamma", "s1")
+        instance.add_row("T_Rating", 103, 3, 0)
+        instance.add_row("T_Store", 7, "s1", "addr", "555")
+        return program, instance
+
+    def test_classification_partition(self):
+        program, instance = self.build_target()
+        extents = view_extent(program, instance)
+        popular = {a.terms[0].value for a in extents["PopularProduct"]}
+        average = {a.terms[0].value for a in extents["AvgProduct"]}
+        unpopular = {a.terms[0].value for a in extents["UnpopularProduct"]}
+        assert popular == {1}
+        assert average == {2}
+        assert unpopular == {3}
+        # {disjoint, complete}: the three classes partition Product.
+        assert popular | average | unpopular == {1, 2, 3}
+        assert popular & average == set()
+        assert popular & unpopular == set()
+        assert average & unpopular == set()
+
+    def test_store_and_soldat_views(self):
+        program, instance = self.build_target()
+        extents = view_extent(program, instance)
+        assert len(extents["SoldAt"]) == 3
+        assert len(extents["Store"]) == 1
+
+    def test_strata_ordering(self, target_views=None):
+        program, _instance = self.build_target()
+        levels = strata(program)
+        assert levels["PopularProduct"] < levels["AvgProduct"]
+        assert levels["AvgProduct"] <= levels["UnpopularProduct"]

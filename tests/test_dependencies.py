@@ -1,0 +1,190 @@
+"""Unit tests for dependency classification, safety and transformation."""
+
+import pytest
+
+from repro.errors import UnsafeDependencyError
+from repro.logic.atoms import (
+    Atom,
+    Comparison,
+    Conjunction,
+    Equality,
+    NegatedConjunction,
+)
+from repro.logic.dependencies import (
+    Dependency,
+    DependencyKind,
+    Disjunct,
+    ded,
+    denial,
+    egd,
+    tgd,
+)
+from repro.logic.terms import Constant, Variable, VariableFactory
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+P = Conjunction(atoms=(Atom("P", (x, y)),))
+
+
+class TestClassification:
+    def test_tgd(self):
+        dependency = tgd(P, (Atom("Q", (x, z)),), name="t")
+        assert dependency.kind is DependencyKind.TGD
+        assert dependency.is_standard()
+
+    def test_egd(self):
+        dependency = egd(P, (Equality(x, y),), name="e")
+        assert dependency.kind is DependencyKind.EGD
+
+    def test_denial(self):
+        dependency = denial(P, name="d")
+        assert dependency.kind is DependencyKind.DENIAL
+
+    def test_ded(self):
+        dependency = ded(
+            P,
+            (Disjunct(equalities=(Equality(x, y),)), Disjunct(atoms=(Atom("Q", (x,)),))),
+            name="dd",
+        )
+        assert dependency.kind is DependencyKind.DED
+        assert dependency.is_ded()
+
+    def test_mixed(self):
+        dependency = Dependency(
+            P,
+            (Disjunct(atoms=(Atom("Q", (x,)),), equalities=(Equality(x, y),)),),
+        )
+        assert dependency.kind is DependencyKind.MIXED
+
+    def test_egd_requires_equalities(self):
+        with pytest.raises(UnsafeDependencyError):
+            egd(P, ())
+
+
+class TestVariables:
+    def test_frontier(self):
+        dependency = tgd(P, (Atom("Q", (x, z)),))
+        assert dependency.frontier() == frozenset({x})
+
+    def test_existential(self):
+        dependency = tgd(P, (Atom("Q", (x, z)),))
+        assert dependency.existential_variables(dependency.disjuncts[0]) == frozenset(
+            {z}
+        )
+
+    def test_relations(self):
+        dependency = ded(
+            P, (Disjunct(atoms=(Atom("Q", (x,)),)), Disjunct(atoms=(Atom("R", (x,)),)))
+        )
+        assert dependency.relations() == frozenset({"P", "Q", "R"})
+
+
+class TestSafety:
+    def test_safe_tgd_passes(self):
+        tgd(P, (Atom("Q", (x, z)),)).check_safety()
+
+    def test_unsafe_comparison(self):
+        dependency = Dependency(
+            Conjunction(
+                atoms=(Atom("P", (x,)),),
+                comparisons=(Comparison("<", y, Constant(3)),),
+            ),
+            (Disjunct(atoms=(Atom("Q", (x,)),)),),
+        )
+        with pytest.raises(UnsafeDependencyError):
+            dependency.check_safety()
+
+    def test_unsafe_equality(self):
+        dependency = Dependency(P, (Disjunct(equalities=(Equality(x, z),)),))
+        with pytest.raises(UnsafeDependencyError):
+            dependency.check_safety()
+
+    def test_unsafe_disjunct_comparison(self):
+        dependency = Dependency(
+            P,
+            (Disjunct(
+                atoms=(Atom("Q", (z,)),),
+                comparisons=(Comparison(">", z, Constant(0)),),
+            ),),
+        )
+        with pytest.raises(UnsafeDependencyError):
+            dependency.check_safety()
+
+    def test_negation_variable_leaking_to_conclusion(self):
+        premise = Conjunction(
+            atoms=(Atom("P", (x,)),),
+            negations=(
+                NegatedConjunction(Conjunction(atoms=(Atom("S", (x, z)),))),
+            ),
+        )
+        dependency = Dependency(
+            premise, (Disjunct(atoms=(Atom("Q", (x, z)),)),)
+        )
+        with pytest.raises(UnsafeDependencyError):
+            dependency.check_safety()
+
+    def test_negation_local_variable_is_fine(self):
+        premise = Conjunction(
+            atoms=(Atom("P", (x,)),),
+            negations=(
+                NegatedConjunction(Conjunction(atoms=(Atom("S", (x, z)),))),
+            ),
+        )
+        Dependency(premise, (Disjunct(atoms=(Atom("Q", (x,)),)),)).check_safety()
+
+
+class TestTransformation:
+    def test_select_branch(self):
+        dependency = ded(
+            P,
+            (
+                Disjunct(equalities=(Equality(x, y),)),
+                Disjunct(atoms=(Atom("Q", (x,)),)),
+            ),
+            name="d0",
+        )
+        first = dependency.select_branch(0)
+        assert first.kind is DependencyKind.EGD
+        assert first.name == "d0[0]"
+        second = dependency.select_branch(1)
+        assert second.kind is DependencyKind.TGD
+        with pytest.raises(IndexError):
+            dependency.select_branch(5)
+
+    def test_rename_apart(self):
+        dependency = tgd(P, (Atom("Q", (x, z)),), name="t")
+        factory = VariableFactory()
+        renamed = dependency.rename_apart(factory)
+        assert renamed.variables().isdisjoint(dependency.variables())
+        # Structure preserved.
+        assert renamed.kind is DependencyKind.TGD
+        assert renamed.frontier() != frozenset()
+
+    def test_apply_substitution(self):
+        from repro.logic.substitution import Substitution
+
+        dependency = tgd(P, (Atom("Q", (x, z)),))
+        applied = dependency.apply(Substitution({x: Constant(5)}))
+        assert applied.premise.atoms[0] == Atom("P", (Constant(5), y))
+        assert applied.disjuncts[0].atoms[0] == Atom("Q", (Constant(5), z))
+
+    def test_with_name(self):
+        assert tgd(P, (Atom("Q", (x,)),)).with_name("n").name == "n"
+
+
+class TestRendering:
+    def test_str_tgd(self):
+        dependency = tgd(P, (Atom("Q", (x,)),), name="m")
+        assert str(dependency) == "m: P(x, y) -> Q(x)"
+
+    def test_str_denial(self):
+        assert str(denial(P)).endswith("-> false")
+
+    def test_str_ded_uses_pipe(self):
+        dependency = ded(
+            P,
+            (
+                Disjunct(equalities=(Equality(x, y),)),
+                Disjunct(atoms=(Atom("Q", (x,)),)),
+            ),
+        )
+        assert "|" in str(dependency)

@@ -1,0 +1,94 @@
+"""Unit tests for homomorphism search between atom sets."""
+
+from repro.logic.atoms import Atom
+from repro.logic.homomorphism import (
+    all_homomorphisms,
+    apply_assignment,
+    exists_homomorphism,
+    find_homomorphism,
+    homomorphically_equivalent,
+)
+from repro.logic.terms import Constant, Null, Variable
+
+x, y = Variable("x"), Variable("y")
+a, b = Constant("a"), Constant("b")
+
+
+def test_simple_variable_mapping():
+    source = [Atom("R", (x, y))]
+    target = [Atom("R", (a, b))]
+    hom = find_homomorphism(source, target)
+    assert hom == {x: a, y: b}
+
+
+def test_constants_must_be_preserved():
+    assert not exists_homomorphism([Atom("R", (a,))], [Atom("R", (b,))])
+    assert exists_homomorphism([Atom("R", (a,))], [Atom("R", (a,)), Atom("R", (b,))])
+
+
+def test_nulls_map_like_variables():
+    source = [Atom("R", (Null(1), Null(2)))]
+    target = [Atom("R", (a, a))]
+    hom = find_homomorphism(source, target)
+    assert hom == {Null(1): a, Null(2): a}
+
+
+def test_frozen_terms_fixed():
+    source = [Atom("R", (Null(1),))]
+    target = [Atom("R", (a,))]
+    assert find_homomorphism(source, target, frozen=[Null(1)]) is None
+    target_with_null = [Atom("R", (Null(1),))]
+    assert find_homomorphism(source, target_with_null, frozen=[Null(1)]) == {}
+
+
+def test_join_consistency():
+    # R(x, y), S(y) — y must take the same value in both atoms.
+    source = [Atom("R", (x, y)), Atom("S", (y,))]
+    target = [Atom("R", (a, b)), Atom("S", (a,))]
+    assert not exists_homomorphism(source, target)
+    target_good = [Atom("R", (a, b)), Atom("S", (b,))]
+    assert exists_homomorphism(source, target_good)
+
+
+def test_all_homomorphisms_count():
+    source = [Atom("R", (x,))]
+    target = [Atom("R", (a,)), Atom("R", (b,))]
+    homs = all_homomorphisms(source, target)
+    assert len(homs) == 2
+    assert {h[x] for h in homs} == {a, b}
+
+
+def test_all_homomorphisms_limit():
+    source = [Atom("R", (x,))]
+    target = [Atom("R", (Constant(i),)) for i in range(10)]
+    assert len(all_homomorphisms(source, target, limit=3)) == 3
+
+
+def test_homomorphic_equivalence():
+    one = [Atom("R", (Null(1),))]
+    two = [Atom("R", (Null(2),)), Atom("R", (Null(3),))]
+    assert homomorphically_equivalent(one, two)
+    three = [Atom("R", (a,))]
+    assert not homomorphically_equivalent(one, three)  # a cannot map back
+
+
+def test_seed_binding():
+    source = [Atom("R", (x, y))]
+    target = [Atom("R", (a, b)), Atom("R", (b, b))]
+    hom = find_homomorphism(source, target, seed={x: b})
+    assert hom is not None and hom[x] == b and hom[y] == b
+
+
+def test_apply_assignment_keeps_constants():
+    atom = Atom("R", (x, a, Null(1)))
+    mapped = apply_assignment({x: b, Null(1): a}, atom)
+    assert mapped == Atom("R", (b, a, a))
+
+
+def test_empty_source_always_maps():
+    assert exists_homomorphism([], [Atom("R", (a,))])
+    assert exists_homomorphism([], [])
+
+
+def test_unmatchable_relation():
+    assert not exists_homomorphism([Atom("Q", (x,))], [Atom("R", (a,))])

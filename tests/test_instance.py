@@ -1,0 +1,180 @@
+"""Unit tests for instances: facts, generations, indexes, null rewriting."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Null
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+
+
+def fact(relation, *values):
+    terms = tuple(
+        v if isinstance(v, Null) else Constant(v) for v in values
+    )
+    return Atom(relation, terms)
+
+
+class TestBasics:
+    def test_add_dedupes(self):
+        instance = Instance()
+        assert instance.add(fact("R", 1))
+        assert not instance.add(fact("R", 1))
+        assert len(instance) == 1
+
+    def test_add_row_convenience(self):
+        instance = Instance()
+        instance.add_row("R", 1, "a", Null(3))
+        assert fact("R", 1, "a", Null(3)) in instance
+
+    def test_non_ground_rejected(self):
+        from repro.logic.terms import Variable
+
+        with pytest.raises(SchemaError):
+            Instance().add(Atom("R", (Variable("x"),)))
+
+    def test_schema_validation(self):
+        schema = Schema("s")
+        schema.add_relation("R", [("a", "int")])
+        instance = Instance(schema)
+        instance.add(fact("R", 1))
+        with pytest.raises(SchemaError):
+            instance.add(fact("Unknown", 1))
+        from repro.errors import TypingError
+
+        with pytest.raises(TypingError):
+            instance.add(fact("R", "not-an-int"))
+
+    def test_remove(self):
+        instance = Instance()
+        instance.add(fact("R", 1))
+        assert instance.remove(fact("R", 1))
+        assert not instance.remove(fact("R", 1))
+        assert len(instance) == 0
+
+    def test_sizes_and_relations(self):
+        instance = Instance()
+        instance.add(fact("R", 1))
+        instance.add(fact("R", 2))
+        instance.add(fact("S", 1))
+        assert instance.size() == 3
+        assert instance.size("R") == 2
+        assert sorted(instance.relations()) == ["R", "S"]
+
+    def test_equality_ignores_empty_buckets(self):
+        left = Instance()
+        left.add(fact("R", 1))
+        left.add(fact("S", 1))
+        left.remove(fact("S", 1))
+        right = Instance()
+        right.add(fact("R", 1))
+        assert left == right
+
+
+class TestGenerations:
+    def test_facts_since(self):
+        instance = Instance()
+        instance.add(fact("R", 1))
+        generation = instance.bump_generation()
+        instance.add(fact("R", 2))
+        newer = instance.facts_since(generation)
+        assert newer == [fact("R", 2)]
+        assert set(instance.facts_since(0)) == {fact("R", 1), fact("R", 2)}
+
+    def test_facts_since_relation_filter(self):
+        instance = Instance()
+        generation = instance.bump_generation()
+        instance.add(fact("R", 1))
+        instance.add(fact("S", 1))
+        assert instance.facts_since(generation, "R") == [fact("R", 1)]
+
+
+class TestIndexes:
+    def test_index_lookup(self):
+        instance = Instance()
+        instance.add(fact("R", 1, "a"))
+        instance.add(fact("R", 2, "a"))
+        instance.add(fact("R", 3, "b"))
+        index = instance.index("R", [1])
+        assert len(index[(Constant("a"),)]) == 2
+        assert len(index[(Constant("b"),)]) == 1
+
+    def test_index_invalidation_on_write(self):
+        instance = Instance()
+        instance.add(fact("R", 1))
+        index = instance.index("R", [0])
+        assert len(index[(Constant(1),)]) == 1
+        instance.add(fact("R", 2))
+        fresh = instance.index("R", [0])
+        assert (Constant(2),) in fresh
+
+    def test_index_cached_between_reads(self):
+        instance = Instance()
+        instance.add(fact("R", 1))
+        first = instance.index("R", [0])
+        second = instance.index("R", [0])
+        assert first is second
+
+
+class TestNullHandling:
+    def test_nulls_collected(self):
+        instance = Instance()
+        instance.add(fact("R", Null(1), 2))
+        instance.add(fact("S", Null(2)))
+        assert instance.nulls() == {Null(1), Null(2)}
+        assert not instance.is_ground_complete()
+
+    def test_apply_null_map_rewrites(self):
+        instance = Instance()
+        instance.add(fact("R", Null(1), "x"))
+        rewritten = instance.apply_null_map({Null(1): Constant(7)})
+        assert rewritten == 1
+        assert fact("R", 7, "x") in instance
+        assert fact("R", Null(1), "x") not in instance
+
+    def test_apply_null_map_collapses_duplicates(self):
+        instance = Instance()
+        instance.add(fact("R", Null(1)))
+        instance.add(fact("R", 7))
+        instance.apply_null_map({Null(1): Constant(7)})
+        assert len(instance) == 1
+
+    def test_apply_null_map_preserves_generation(self):
+        instance = Instance()
+        instance.add(fact("R", Null(1)))
+        generation = instance.bump_generation()
+        instance.apply_null_map({Null(1): Constant(7)})
+        # The rewritten fact keeps its original (pre-bump) generation.
+        assert instance.facts_since(generation) == []
+
+    def test_apply_null_map_empty(self):
+        instance = Instance()
+        instance.add(fact("R", 1))
+        assert instance.apply_null_map({}) == 0
+
+
+class TestCopies:
+    def test_copy_independent(self):
+        instance = Instance()
+        instance.add(fact("R", 1))
+        clone = instance.copy()
+        clone.add(fact("R", 2))
+        assert len(instance) == 1
+        assert len(clone) == 2
+
+    def test_restricted_to(self):
+        instance = Instance()
+        instance.add(fact("R", 1))
+        instance.add(fact("S", 1))
+        restricted = instance.restricted_to(["R"])
+        assert len(restricted) == 1
+        assert restricted.size("S") == 0
+
+    def test_str_truncates(self):
+        instance = Instance()
+        for i in range(30):
+            instance.add(fact("R", i))
+        rendered = str(instance)
+        assert "more" in rendered
+        assert str(Instance()) == "(empty instance)"

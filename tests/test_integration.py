@@ -1,0 +1,166 @@
+"""Full-system integration tests: the paper's Section 2, end to end.
+
+These tests walk the complete Figure-2 architecture on the running
+example and assert the *semantics* of every stage: the rewritten
+dependency set, the chase behaviour branch by branch, and the final
+classification the semantic schema exposes over the produced target.
+"""
+
+import pytest
+
+from repro.chase.ded import GreedyDedChase
+from repro.chase.disjunctive import disjunctive_chase
+from repro.chase.engine import StandardChase
+from repro.chase.universal import satisfies
+from repro.core.rewriter import rewrite
+from repro.core.verify import verify_solution
+from repro.datalog.evaluate import view_extent
+from repro.logic.pretty import render_dependencies, render_dependency
+from repro.pipeline import run_scenario
+from repro.relational.instance import Instance
+from repro.scenarios.running_example import (
+    build_scenario,
+    generate_source_instance,
+)
+
+
+class TestPaperWorkflow:
+    """Follow the demo step by step."""
+
+    def test_step1_rewriting_shape(self, rewritten):
+        """Σ_ST ∪ Σ_T: 7 tgds, 2 denials, 1 ded (d0) for the example."""
+        assert len(rewritten.dependencies) == 10
+        rendered = render_dependencies(rewritten.dependencies, unicode=False)
+        assert "T_Rating" in rendered
+        # d0 appears with its three branches.
+        d0 = rewritten.deds()[0]
+        text = render_dependency(d0, unicode=False)
+        assert text.count("|") == 2
+
+    def test_step2_chase_produces_expected_rows(
+        self, rewritten, small_source
+    ):
+        engine = GreedyDedChase(
+            rewritten.dependencies, rewritten.source_relations()
+        )
+        result = engine.run(small_source)
+        assert result.ok
+        target = result.target
+        # 3 products * (1 classification row + 1 SoldAt row via m3).
+        assert target.size("T_Product") == 6
+        # average product needs a thumbs-up + thumbs-down; unpopular needs
+        # a thumbs-down: 3 rating rows.
+        assert target.size("T_Rating") == 3
+        assert target.size("T_Store") == 3
+        up = [f for f in target.facts("T_Rating") if f.terms[2].value == 1]
+        down = [f for f in target.facts("T_Rating") if f.terms[2].value == 0]
+        assert len(up) == 1 and len(down) == 2
+
+    def test_step3_solution_satisfies_rewritten_set(
+        self, rewritten, small_source
+    ):
+        engine = GreedyDedChase(
+            rewritten.dependencies, rewritten.source_relations()
+        )
+        result = engine.run(small_source)
+        working = Instance()
+        for fact in small_source:
+            working.add(fact)
+        for fact in result.target:
+            working.add(fact)
+        assert satisfies(rewritten.dependencies, working)
+
+    def test_step4_view_extents_classify_correctly(
+        self, running_scenario, small_source
+    ):
+        outcome = run_scenario(running_scenario, small_source)
+        extents = view_extent(running_scenario.target_views, outcome.target)
+        assert {a.terms[0].value for a in extents["PopularProduct"]} == {1}
+        assert {a.terms[0].value for a in extents["AvgProduct"]} == {2}
+        assert {a.terms[0].value for a in extents["UnpopularProduct"]} == {3}
+        assert len(extents["Product"]) >= 3
+        assert len(extents["Store"]) == 3  # one null-keyed store per product
+
+    def test_step5_verification_contract(self, running_scenario, small_source):
+        outcome = run_scenario(running_scenario, small_source)
+        report = verify_solution(
+            running_scenario, small_source, outcome.target
+        )
+        assert report.ok
+        assert report.mappings_checked == 4
+        assert report.constraints_checked == 1
+
+
+class TestKeyConstraintBehaviour:
+    """e0/d0 behaviour across data shapes (Section 3's discussion)."""
+
+    def test_unique_names_never_fire_d0(self, rewritten):
+        source = generate_source_instance(products=12, seed=21)
+        result = GreedyDedChase(
+            rewritten.dependencies, rewritten.source_relations()
+        ).run(source)
+        assert result.ok and result.scenarios_tried == 1
+
+    def test_popular_vs_unpopular_same_name_is_fine(self, rewritten):
+        source = generate_source_instance(
+            products=0, seed=2, benign_name_pairs=1
+        )
+        result = GreedyDedChase(
+            rewritten.dependencies, rewritten.source_relations()
+        ).run(source)
+        # The unpopular twin has a thumbs-down: d0's third disjunct is
+        # satisfied, so the ded never fires.
+        assert result.ok and result.stats.premise_matches > 0
+
+    def test_two_popular_same_name_unsatisfiable_everywhere(self, rewritten):
+        source = generate_source_instance(
+            products=0, seed=2, popular_name_conflicts=1
+        )
+        greedy = GreedyDedChase(
+            rewritten.dependencies, rewritten.source_relations()
+        ).run(source)
+        assert not greedy.ok
+        exact = disjunctive_chase(
+            rewritten.dependencies, source, rewritten.source_relations()
+        )
+        assert not exact.satisfiable
+
+    def test_same_ids_same_name_satisfiable(self, rewritten):
+        """Two rows with the same id and name: e0's equality is trivially
+        satisfied."""
+        from repro.scenarios.running_example import build_source_schema
+
+        source = Instance(build_source_schema())
+        source.add_row("S_Store", "s", "loc")
+        source.add_row("S_Product", 1, "same", "s", 5)
+        source.add_row("S_Product", 1, "same", "s", 4)
+        result = GreedyDedChase(
+            rewritten.dependencies, rewritten.source_relations()
+        ).run(source)
+        assert result.ok
+
+
+class TestDedFreeVariant:
+    def test_standard_chase_suffices_without_key(
+        self, rewritten_no_key, medium_source
+    ):
+        engine = StandardChase(
+            rewritten_no_key.dependencies, rewritten_no_key.source_relations()
+        )
+        result = engine.run(medium_source)
+        assert result.ok
+        assert result.target.size("T_Product") > 0
+
+    def test_pipeline_picks_standard_engine(self, medium_source):
+        outcome = run_scenario(build_scenario(include_key=False), medium_source)
+        assert outcome.ok
+        assert outcome.chase.scenarios_tried == 0  # no greedy search happened
+
+
+class TestScale:
+    def test_medium_instance_end_to_end(self):
+        source = generate_source_instance(products=200, stores=10, seed=13)
+        outcome = run_scenario(build_scenario(), source, verify=True)
+        assert outcome.ok
+        assert outcome.verification is not None and outcome.verification.ok
+        assert outcome.target.size("T_Product") == 2 * 200

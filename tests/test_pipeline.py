@@ -1,0 +1,121 @@
+"""End-to-end pipeline tests across every scenario family."""
+
+import pytest
+
+from repro.chase.result import ChaseStatus
+from repro.pipeline import run_scenario, strip_auxiliary
+from repro.relational.instance import Instance
+from repro.scenarios import (
+    build_scenario,
+    cleanup_instance,
+    cleanup_scenario,
+    evolution_instance,
+    evolution_scenario,
+    flagged_instance,
+    flagged_scenario,
+    generate_source_instance,
+    partition_instance,
+    partition_scenario,
+)
+
+
+class TestRunningExamplePipeline:
+    def test_clean_run_verifies(self):
+        outcome = run_scenario(
+            build_scenario(), generate_source_instance(products=20, seed=1)
+        )
+        assert outcome.ok
+        assert outcome.verification is not None and outcome.verification.ok
+        assert outcome.rewrite.has_deds
+
+    def test_conflict_run_fails_chase(self):
+        outcome = run_scenario(
+            build_scenario(),
+            generate_source_instance(products=5, seed=1, popular_name_conflicts=1),
+        )
+        assert not outcome.ok
+        assert outcome.chase.status is ChaseStatus.FAILURE
+        assert outcome.verification is None  # nothing to verify
+
+    def test_target_has_no_aux_relations(self):
+        outcome = run_scenario(
+            build_scenario(), generate_source_instance(products=10, seed=2)
+        )
+        assert all(
+            not relation.startswith("_grom_req_")
+            for relation in outcome.target.relations()
+        )
+
+    def test_empty_source_succeeds_trivially(self):
+        outcome = run_scenario(build_scenario(), Instance())
+        assert outcome.ok
+        assert len(outcome.target) == 0
+
+
+class TestFamilies:
+    def test_cleanup_family(self):
+        outcome = run_scenario(cleanup_scenario(), cleanup_instance(orders=30))
+        assert outcome.ok
+        # Every non-cancelled order became a valid order (no tombstone);
+        # cancelled ones got tombstones.
+        cancelled = outcome.target.size("T_Cancelled")
+        orders = outcome.target.size("T_Order")
+        assert orders == 30
+        assert 0 < cancelled < 30
+
+    def test_evolution_family(self):
+        outcome = run_scenario(evolution_scenario(), evolution_instance(20))
+        assert outcome.ok
+        assert outcome.target.size("Person") == 20
+        assert outcome.target.size("Job") == 20
+        assert not outcome.rewrite.has_deds  # conjunctive views
+
+    def test_evolution_soft_delete_family(self):
+        outcome = run_scenario(
+            evolution_scenario(with_soft_delete=True), evolution_instance(10)
+        )
+        assert outcome.ok
+        # ActiveEmployee's negation compiles to a denial on Departed.
+        assert outcome.rewrite.denials()
+
+    def test_partition_family(self):
+        scenario = partition_scenario(3, class_keys=True)
+        outcome = run_scenario(scenario, partition_instance(3, items=25, seed=4))
+        assert outcome.ok
+        assert outcome.target.size("T_Item") == 25
+
+    def test_partition_default_key_with_duplicates_is_unsatisfiable(self):
+        """Two same-name default-class items violate the default key, and
+        every ded branch is blocked: the equality branch equates distinct
+        ids, and tagging either item into an explicit class trips the
+        default mapping's companion denial.  The greedy chase correctly
+        walks all 2*width+1 = 5 derived scenarios and reports failure."""
+        scenario = partition_scenario(2, default_key=True)
+        source = partition_instance(2, items=10, seed=4, duplicate_names=1)
+        outcome = run_scenario(scenario, source)
+        assert not outcome.ok
+        assert outcome.chase.status is ChaseStatus.FAILURE
+        assert outcome.chase.scenarios_tried == 5
+
+    def test_partition_default_key_without_duplicates_succeeds(self):
+        scenario = partition_scenario(2, default_key=True)
+        source = partition_instance(2, items=10, seed=4, duplicate_names=0)
+        outcome = run_scenario(scenario, source)
+        assert outcome.ok
+        assert outcome.chase.scenarios_tried == 1  # ded never fires
+
+    def test_flagged_family_satisfiable(self):
+        scenario = flagged_scenario(2)
+        outcome = run_scenario(scenario, flagged_instance(products=8, name_pairs=1))
+        assert outcome.ok
+        assert outcome.verification is not None and outcome.verification.ok
+        assert outcome.chase.scenarios_tried >= 1
+
+
+class TestStripAuxiliary:
+    def test_strip(self):
+        instance = Instance()
+        instance.add_row("T", 1)
+        instance.add_row("_grom_req_e0_0", 1)
+        stripped = strip_auxiliary(instance)
+        assert stripped.relations() == ["T"]

@@ -1,0 +1,146 @@
+"""Tests for rendering (pretty), the error hierarchy, and misc surfaces."""
+
+import pytest
+
+from repro.errors import (
+    ArityError,
+    ChaseFailure,
+    GromError,
+    LogicError,
+    ParseError,
+    SchemaError,
+    TypingError,
+    UnknownRelationError,
+)
+from repro.logic.atoms import Atom, Comparison, Conjunction, Equality, NegatedConjunction
+from repro.logic.dependencies import Disjunct, ded, denial, egd, tgd
+from repro.logic.pretty import (
+    render_conjunction,
+    render_dependencies,
+    render_dependency,
+)
+from repro.logic.terms import Constant, Variable
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestPretty:
+    def test_render_conjunction_nested_negation(self):
+        inner = Conjunction(
+            atoms=(Atom("B", (x,)),),
+            negations=(NegatedConjunction(Conjunction(atoms=(Atom("C", (x,)),))),),
+        )
+        body = Conjunction(
+            atoms=(Atom("A", (x,)),),
+            negations=(NegatedConjunction(inner),),
+        )
+        unicode_form = render_conjunction(body)
+        assert "¬(B(x), ¬(C(x)))" in unicode_form
+        ascii_form = render_conjunction(body, unicode=False)
+        assert "not (B(x), not (C(x)))" in ascii_form
+
+    def test_render_dependency_denial(self):
+        dependency = denial(Conjunction(atoms=(Atom("A", (x,)),)), name="d")
+        assert render_dependency(dependency) == "d: A(x) → ⊥"
+        assert render_dependency(dependency, unicode=False) == "d: A(x) -> false"
+
+    def test_render_dependency_ded(self):
+        dependency = ded(
+            Conjunction(atoms=(Atom("A", (x, y)),)),
+            (
+                Disjunct(equalities=(Equality(x, y),)),
+                Disjunct(atoms=(Atom("B", (x,)),)),
+            ),
+            name="d0",
+        )
+        rendered = render_dependency(dependency, unicode=False)
+        assert "(x = y) | B(x)" in rendered
+
+    def test_render_dependencies_groups_by_kind(self):
+        group = [
+            tgd(Conjunction(atoms=(Atom("A", (x,)),)), (Atom("B", (x,)),), "t"),
+            egd(
+                Conjunction(atoms=(Atom("A", (x,)), Atom("A", (y,)))),
+                (Equality(x, y),),
+                "e",
+            ),
+            denial(Conjunction(atoms=(Atom("B", (x,)),)), "dn"),
+        ]
+        rendered = render_dependencies(group)
+        assert rendered.index("tgds (1)") < rendered.index("egds (1)")
+        assert rendered.index("egds (1)") < rendered.index("denials (1)")
+
+    def test_render_comparison_in_disjunct(self):
+        dependency = tgd(
+            Conjunction(atoms=(Atom("A", (x, y)),)),
+            (Atom("B", (x,)),),
+            name="t",
+            comparisons=(Comparison("<", x, y),),
+        )
+        assert "x < y" in render_dependency(dependency)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_grom_errors(self):
+        for exc in (
+            LogicError("x"),
+            SchemaError("x"),
+            TypingError("x"),
+            ParseError("x"),
+            ChaseFailure("x"),
+            ArityError("R", 2, 3),
+            UnknownRelationError("R"),
+        ):
+            assert isinstance(exc, GromError)
+
+    def test_arity_error_payload(self):
+        error = ArityError("R", 2, 3)
+        assert error.relation == "R"
+        assert error.expected == 2 and error.got == 3
+        assert "R" in str(error)
+
+    def test_parse_error_location(self):
+        error = ParseError("boom", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_chase_failure_culprit(self):
+        dep = denial(Conjunction(atoms=(Atom("A", (x,)),)), "d")
+        failure = ChaseFailure("denied", culprit=dep)
+        assert failure.culprit is dep
+
+
+class TestResultSurfaces:
+    def test_chase_result_str(self):
+        from repro.chase.result import ChaseResult, ChaseStats, ChaseStatus
+        from repro.relational.instance import Instance
+
+        ok = ChaseResult(ChaseStatus.SUCCESS, Instance(), stats=ChaseStats(rounds=2))
+        assert "success" in str(ok)
+        bad = ChaseResult(
+            ChaseStatus.FAILURE, Instance(), failure_reason="because"
+        )
+        assert "because" in str(bad)
+
+    def test_chase_stats_merge(self):
+        from repro.chase.result import ChaseStats
+
+        merged = ChaseStats(rounds=1, tgd_fires=2).merge(
+            ChaseStats(rounds=3, tgd_fires=4, nulls_created=5)
+        )
+        assert merged.rounds == 4
+        assert merged.tgd_fires == 6
+        assert merged.nulls_created == 5
+
+    def test_rewrite_result_repr(self, rewritten):
+        rendered = repr(rewritten)
+        assert "ded=1" in rendered
+
+    def test_scenario_repr(self, running_scenario):
+        assert "running-example" in repr(running_scenario)
+
+    def test_verification_report_ok_str(self, running_scenario, small_source):
+        from repro.pipeline import run_scenario
+
+        outcome = run_scenario(running_scenario, small_source)
+        assert "OK" in str(outcome.verification)

@@ -1,0 +1,439 @@
+"""Tests for the GROM rewriter — including the paper's e0 → d0 example."""
+
+import pytest
+
+from repro.core.rewriter import AUX_PREFIX, rewrite
+from repro.core.scenario import MappingScenario
+from repro.datalog.program import ViewProgram
+from repro.errors import UnsupportedViewError
+from repro.logic.atoms import (
+    Atom,
+    Comparison,
+    Conjunction,
+    Equality,
+    NegatedConjunction,
+)
+from repro.logic.dependencies import DependencyKind, egd, tgd
+from repro.logic.terms import Constant, Variable
+from repro.relational.schema import Schema
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def make_scenario(views, mappings, constraints=(), source_extra=(), target_extra=()):
+    """A tiny scenario builder over S(a, b) -> T(a, b) / W(a)."""
+    source_schema = Schema("src")
+    source_schema.add_relation("S", [("a", "int"), ("b", "int")])
+    for name, arity in source_extra:
+        source_schema.add_relation(name, [(f"c{i}", "int") for i in range(arity)])
+    target_schema = Schema("tgt")
+    target_schema.add_relation("T", [("a", "int"), ("b", "int")])
+    target_schema.add_relation("W", [("a", "int")])
+    for name, arity in target_extra:
+        target_schema.add_relation(name, [(f"c{i}", "int") for i in range(arity)])
+    program = ViewProgram(target_schema)
+    for head, body in views:
+        program.define(head, body)
+    return MappingScenario(
+        source_schema=source_schema,
+        target_schema=target_schema,
+        mappings=list(mappings),
+        target_views=program,
+        target_constraints=list(constraints),
+        name="mini",
+    )
+
+
+class TestConjunctiveUnfolding:
+    """With conjunctive views the rewriting is classical view unfolding:
+    tgds/egds in, tgds/egds out (the closure property of [1])."""
+
+    def test_tgd_stays_tgd(self):
+        views = [
+            (Atom("V", (x,)), Conjunction(atoms=(Atom("T", (x, y)),))),
+        ]
+        mapping = tgd(
+            Conjunction(atoms=(Atom("S", (x, y)),)), (Atom("V", (x,)),), name="m"
+        )
+        result = rewrite(make_scenario(views, [mapping]))
+        assert not result.has_deds
+        assert len(result.dependencies) == 1
+        dependency = result.dependencies[0]
+        assert dependency.kind is DependencyKind.TGD
+        assert dependency.disjuncts[0].atoms[0].relation == "T"
+        # The body's second position is existential (fresh).
+        existentials = dependency.existential_variables(dependency.disjuncts[0])
+        assert len(existentials) == 1
+
+    def test_egd_stays_egd(self):
+        views = [
+            (Atom("V", (x, y)), Conjunction(atoms=(Atom("T", (x, y)),))),
+        ]
+        id1, id2, n = Variable("id1"), Variable("id2"), Variable("n")
+        constraint = egd(
+            Conjunction(atoms=(Atom("V", (id1, n)), Atom("V", (id2, n)))),
+            (Equality(id1, id2),),
+            name="key",
+        )
+        result = rewrite(make_scenario(views, [], [constraint]))
+        assert not result.has_deds
+        assert len(result.dependencies) == 1
+        assert result.dependencies[0].kind is DependencyKind.EGD
+
+    def test_multiple_view_layers(self):
+        views = [
+            (Atom("V1", (x, y)), Conjunction(atoms=(Atom("T", (x, y)),))),
+            (Atom("V2", (x,)), Conjunction(atoms=(Atom("V1", (x, y)),))),
+        ]
+        mapping = tgd(
+            Conjunction(atoms=(Atom("S", (x, y)),)), (Atom("V2", (x,)),), name="m"
+        )
+        result = rewrite(make_scenario(views, [mapping]))
+        conclusion = result.dependencies[0].disjuncts[0]
+        assert conclusion.atoms[0].relation == "T"
+
+    def test_physical_target_atom_passthrough(self):
+        mapping = tgd(
+            Conjunction(atoms=(Atom("S", (x, y)),)), (Atom("T", (x, y)),), name="m"
+        )
+        result = rewrite(make_scenario([], [mapping]))
+        assert result.dependencies[0].disjuncts[0].atoms[0] == Atom("T", (x, y))
+
+
+class TestRunningExample:
+    def test_e0_becomes_the_paper_d0(self, rewritten):
+        """The headline check: the key egd rewrites into d0 exactly."""
+        deds = rewritten.deds()
+        assert len(deds) == 1
+        d0 = deds[0]
+        assert d0.name == "e0"
+        # Premise: two T_Product atoms joined on name.
+        assert [a.relation for a in d0.premise.atoms] == ["T_Product", "T_Product"]
+        assert d0.premise.atoms[0].terms[1] == d0.premise.atoms[1].terms[1]
+        assert not d0.premise.negations
+        # Three disjuncts: (id1 = id2) | T_Rating(_, id1, 0) | T_Rating(_, id2, 0).
+        assert len(d0.disjuncts) == 3
+        equality_disjunct = d0.disjuncts[0]
+        assert equality_disjunct.equalities == (
+            Equality(d0.premise.atoms[0].terms[0], d0.premise.atoms[1].terms[0]),
+        )
+        for disjunct, product_atom in zip(d0.disjuncts[1:], d0.premise.atoms):
+            assert len(disjunct.atoms) == 1
+            rating = disjunct.atoms[0]
+            assert rating.relation == "T_Rating"
+            assert rating.terms[1] == product_atom.terms[0]  # the product id
+            assert rating.terms[2] == Constant(0)  # thumbs-down
+
+    def test_mapping_kinds(self, rewritten):
+        counts = rewritten.counts()
+        assert counts["ded"] == 1
+        assert counts["denial"] == 2
+        assert counts["tgd"] == 7
+        assert "egd" not in counts
+
+    def test_popular_requires_no_thumbs_down_denial(self, rewritten):
+        """m2's companion: a popular product must not have a 0-rating."""
+        denials = [d for d in rewritten.denials() if d.name.startswith("m2")]
+        assert len(denials) == 1
+        denial = denials[0]
+        relations = [a.relation for a in denial.premise.atoms]
+        assert "S_Product" in relations
+        assert "T_Rating" in relations
+        rating_atom = next(
+            a for a in denial.premise.atoms if a.relation == "T_Rating"
+        )
+        assert rating_atom.terms[2] == Constant(0)
+
+    def test_average_requires_thumbs_down_tgd(self, rewritten):
+        """m1's companion (¬Popular): an average product needs a 0-rating."""
+        companions = [d for d in rewritten.tgds() if d.name.startswith("m1.")]
+        assert len(companions) == 1
+        conclusion = companions[0].disjuncts[0].atoms
+        assert conclusion[0].relation == "T_Rating"
+        assert conclusion[0].terms[2] == Constant(0)
+
+    def test_unpopular_double_negation_yields_tgd_and_denial(self, rewritten):
+        """m0's ¬Avg: 'if it has a thumbs-up it must be popular' compiles to
+        a tgd asserting Popular's positive part plus a denial forbidding a
+        0-rating in that context."""
+        names = {d.name for d in rewritten.dependencies}
+        assert "m0.g0" in names  # the requirement tgd
+        assert "m0.g0.g0" in names  # its nested denial
+        assert "m0.g1" in names  # ¬Popular: needs a 0-rating
+
+    def test_no_auxiliary_relations_needed(self, rewritten):
+        """The running example's deds have base-level branches only."""
+        assert rewritten.aux_arities == {}
+
+    def test_provenance_tracked(self, rewritten):
+        d0 = rewritten.deds()[0]
+        info = rewritten.provenance[d0.name]
+        assert info.origin == "e0"
+        assert "PopularProduct" in info.views
+
+    def test_problematic_views_highlighting(self, rewritten):
+        assert rewritten.problematic_views() == ["PopularProduct"]
+
+    def test_without_key_no_deds(self, rewritten_no_key):
+        assert not rewritten_no_key.has_deds
+        assert rewritten_no_key.problematic_views() == []
+
+    def test_all_outputs_safe_and_base_level(self, rewritten, running_scenario):
+        physical = set(running_scenario.source_schema.relation_names())
+        physical |= set(running_scenario.target_schema.relation_names())
+        for dependency in rewritten.dependencies:
+            dependency.check_safety()
+            assert dependency.relations() <= physical
+            assert not dependency.premise.negations
+
+
+class TestUnionViewsInConclusions:
+    def test_union_conclusion_becomes_ded(self):
+        views = [
+            (Atom("U", (x,)), Conjunction(atoms=(Atom("T", (x, y)),))),
+            (Atom("U", (x,)), Conjunction(atoms=(Atom("W", (x,)),))),
+        ]
+        mapping = tgd(
+            Conjunction(atoms=(Atom("S", (x, y)),)), (Atom("U", (x,)),), name="m"
+        )
+        result = rewrite(make_scenario(views, [mapping]))
+        assert result.has_deds
+        ded = result.deds()[0]
+        assert len(ded.disjuncts) == 2
+        branch_relations = {d.atoms[0].relation for d in ded.disjuncts}
+        assert branch_relations == {"T", "W"}
+
+    def test_union_branch_with_negation_uses_aux_relation(self):
+        views = [
+            (Atom("U", (x,)), Conjunction(atoms=(Atom("T", (x, y)),))),
+            (
+                Atom("U", (x,)),
+                Conjunction(
+                    atoms=(Atom("W", (x,)),),
+                    negations=(
+                        NegatedConjunction(
+                            Conjunction(atoms=(Atom("T", (x, x)),))
+                        ),
+                    ),
+                ),
+            ),
+        ]
+        mapping = tgd(
+            Conjunction(atoms=(Atom("S", (x, y)),)), (Atom("U", (x,)),), name="m"
+        )
+        result = rewrite(make_scenario(views, [mapping]))
+        assert result.has_deds
+        assert len(result.aux_arities) == 1
+        aux_name = next(iter(result.aux_arities))
+        assert aux_name.startswith(AUX_PREFIX)
+        # The aux relation appears in a ded branch, has a defining tgd and
+        # a guard denial.
+        ded = result.deds()[0]
+        branch_relations = {d.atoms[0].relation for d in ded.disjuncts}
+        assert aux_name in branch_relations
+        definers = [
+            d
+            for d in result.tgds()
+            if any(a.relation == aux_name for a in d.premise.atoms)
+        ]
+        guards = [
+            d
+            for d in result.denials()
+            if any(a.relation == aux_name for a in d.premise.atoms)
+        ]
+        assert definers and guards
+
+
+class TestComparisons:
+    def test_view_comparison_on_frontier_kept(self):
+        views = [
+            (
+                Atom("V", (x, y)),
+                Conjunction(
+                    atoms=(Atom("T", (x, y)),),
+                    comparisons=(Comparison(">", y, Constant(0)),),
+                ),
+            ),
+        ]
+        mapping = tgd(
+            Conjunction(atoms=(Atom("S", (x, y)),)),
+            (Atom("V", (x, y)),),
+            name="m",
+        )
+        result = rewrite(make_scenario(views, [mapping]))
+        disjunct = result.dependencies[0].disjuncts[0]
+        assert disjunct.comparisons == (Comparison(">", y, Constant(0)),)
+
+    def test_view_equality_on_existential_substituted(self):
+        views = [
+            (
+                Atom("V", (x,)),
+                Conjunction(
+                    atoms=(Atom("T", (x, y)),),
+                    comparisons=(Comparison("=", y, Constant(7)),),
+                ),
+            ),
+        ]
+        mapping = tgd(
+            Conjunction(atoms=(Atom("S", (x, z)),)), (Atom("V", (x,)),), name="m"
+        )
+        result = rewrite(make_scenario(views, [mapping]))
+        disjunct = result.dependencies[0].disjuncts[0]
+        assert disjunct.atoms[0].terms[1] == Constant(7)
+        assert not disjunct.comparisons
+
+    def test_order_comparison_on_existential_rejected(self):
+        views = [
+            (
+                Atom("V", (x,)),
+                Conjunction(
+                    atoms=(Atom("T", (x, y)),),
+                    comparisons=(Comparison("<", y, Constant(7)),),
+                ),
+            ),
+        ]
+        mapping = tgd(
+            Conjunction(atoms=(Atom("S", (x, z)),)), (Atom("V", (x,)),), name="m"
+        )
+        with pytest.raises(UnsupportedViewError):
+            rewrite(make_scenario(views, [mapping]))
+
+    def test_unsatisfiable_premise_comparison_drops_dependency(self):
+        mapping = tgd(
+            Conjunction(
+                atoms=(Atom("S", (x, y)),),
+                comparisons=(Comparison("<", Constant(3), Constant(1)),),
+            ),
+            (Atom("T", (x, y)),),
+            name="m",
+        )
+        result = rewrite(make_scenario([], [mapping]))
+        assert result.dependencies == []
+
+    def test_true_ground_premise_comparison_removed(self):
+        mapping = tgd(
+            Conjunction(
+                atoms=(Atom("S", (x, y)),),
+                comparisons=(Comparison("<", Constant(1), Constant(3)),),
+            ),
+            (Atom("T", (x, y)),),
+            name="m",
+        )
+        result = rewrite(make_scenario([], [mapping]))
+        assert len(result.dependencies) == 1
+        assert not result.dependencies[0].premise.comparisons
+
+
+class TestConstraintVariants:
+    def negated_view(self):
+        return [
+            (
+                Atom("V", (x,)),
+                Conjunction(
+                    atoms=(Atom("T", (x, y)),),
+                    negations=(
+                        NegatedConjunction(Conjunction(atoms=(Atom("W", (x,)),))),
+                    ),
+                ),
+            ),
+        ]
+
+    def test_denial_over_negated_view_becomes_tgd(self):
+        """P ∧ ¬N → ⊥ is equivalent to P → N: a plain tgd, no ded."""
+        from repro.logic.dependencies import denial
+
+        constraint = denial(
+            Conjunction(atoms=(Atom("V", (x,)),)), name="no_v"
+        )
+        result = rewrite(make_scenario(self.negated_view(), [], [constraint]))
+        assert not result.has_deds
+        kinds = {d.kind for d in result.dependencies}
+        assert kinds == {DependencyKind.TGD}
+        conclusion = result.dependencies[0].disjuncts[0]
+        assert conclusion.atoms[0].relation == "W"
+
+    def test_egd_over_negated_view_becomes_ded(self):
+        id1, id2 = Variable("id1"), Variable("id2")
+        constraint = egd(
+            Conjunction(atoms=(Atom("V", (id1,)), Atom("V", (id2,)))),
+            (Equality(id1, id2),),
+            name="k",
+        )
+        result = rewrite(make_scenario(self.negated_view(), [], [constraint]))
+        assert result.has_deds
+        assert len(result.deds()[0].disjuncts) == 3
+
+    def test_union_view_in_constraint_premise_splits(self):
+        views = [
+            (Atom("U", (x,)), Conjunction(atoms=(Atom("T", (x, y)),))),
+            (Atom("U", (x,)), Conjunction(atoms=(Atom("W", (x,)),))),
+        ]
+        id1, id2 = Variable("id1"), Variable("id2")
+        constraint = egd(
+            Conjunction(atoms=(Atom("U", (id1,)), Atom("U", (id2,)))),
+            (Equality(id1, id2),),
+            name="k",
+        )
+        result = rewrite(make_scenario(views, [], [constraint]))
+        # 2 x 2 premise combinations -> four egds.
+        assert len(result.egds()) == 4
+        assert not result.has_deds
+
+    def test_duplicate_names_made_unique(self):
+        views = [
+            (Atom("U", (x,)), Conjunction(atoms=(Atom("T", (x, y)),))),
+            (Atom("U", (x,)), Conjunction(atoms=(Atom("W", (x,)),))),
+        ]
+        id1, id2 = Variable("id1"), Variable("id2")
+        constraint = egd(
+            Conjunction(atoms=(Atom("U", (id1,)), Atom("U", (id2,)))),
+            (Equality(id1, id2),),
+            name="k",
+        )
+        result = rewrite(make_scenario(views, [], [constraint]))
+        names = [d.name for d in result.dependencies]
+        assert len(names) == len(set(names))
+
+
+class TestSourceViews:
+    def build(self):
+        source_schema = Schema("src")
+        source_schema.add_relation("S", [("a", "int"), ("b", "int")])
+        target_schema = Schema("tgt")
+        target_schema.add_relation("T", [("a", "int"), ("b", "int")])
+        source_views = ViewProgram(source_schema)
+        source_views.define(
+            Atom("SV", (x,)),
+            Conjunction(
+                atoms=(Atom("S", (x, y)),),
+                negations=(
+                    NegatedConjunction(
+                        Conjunction(atoms=(Atom("S", (x, Constant(0))),))
+                    ),
+                ),
+            ),
+        )
+        mapping = tgd(
+            Conjunction(atoms=(Atom("SV", (x,)),)), (Atom("T", (x, x)),), name="m"
+        )
+        return MappingScenario(
+            source_schema=source_schema,
+            target_schema=target_schema,
+            mappings=[mapping],
+            source_views=source_views,
+            name="with-source-views",
+        )
+
+    def test_default_keeps_view_premise(self):
+        result = rewrite(self.build())
+        premise_relations = result.dependencies[0].premise.relations()
+        assert "SV" in premise_relations
+
+    def test_unfolded_premise_keeps_source_negation(self):
+        result = rewrite(self.build(), unfold_source_premises=True)
+        dependency = result.dependencies[0]
+        assert "SV" not in dependency.premise.relations()
+        assert dependency.premise.negations  # source-side NEC stays
+        assert dependency.premise.negations[0].inner.relations() == frozenset(
+            {"S"}
+        )

@@ -1,0 +1,134 @@
+"""Unit tests for substitutions, matching and unification."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic.atoms import Atom, Comparison, Conjunction, Equality, NegatedConjunction
+from repro.logic.substitution import Substitution, match_atom, unify_atoms
+from repro.logic.terms import Constant, Null, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestSubstitution:
+    def test_apply_term(self):
+        sub = Substitution({x: a})
+        assert sub.apply_term(x) == a
+        assert sub.apply_term(y) == y
+        assert sub.apply_term(a) == a
+
+    def test_keys_must_be_variables(self):
+        with pytest.raises(LogicError):
+            Substitution({a: x})  # type: ignore[dict-item]
+
+    def test_bind_conflict(self):
+        sub = Substitution({x: a})
+        with pytest.raises(LogicError):
+            sub.bind(x, b)
+        assert sub.bind(x, a)[x] == a
+
+    def test_try_bind(self):
+        sub = Substitution({x: a})
+        assert sub.try_bind(x, b) is None
+        extended = sub.try_bind(y, b)
+        assert extended is not None and extended[y] == b
+        # Original untouched (immutability).
+        assert y not in sub
+
+    def test_merge(self):
+        left = Substitution({x: a})
+        right = Substitution({y: b})
+        merged = left.merge(right)
+        assert merged is not None
+        assert merged[x] == a and merged[y] == b
+        assert left.merge(Substitution({x: b})) is None
+
+    def test_compose_applies_then(self):
+        first = Substitution({x: y})
+        second = Substitution({y: a})
+        composed = first.compose(second)
+        assert composed.apply_term(x) == a
+        assert composed.apply_term(y) == a
+
+    def test_restrict(self):
+        sub = Substitution({x: a, y: b})
+        restricted = sub.restrict([x])
+        assert x in restricted and y not in restricted
+
+    def test_apply_atom_and_conjunction(self):
+        sub = Substitution({x: a})
+        atom = Atom("R", (x, y))
+        assert sub.apply_atom(atom) == Atom("R", (a, y))
+        conj = Conjunction(
+            atoms=(atom,),
+            comparisons=(Comparison("<", x, y),),
+            negations=(NegatedConjunction(Conjunction(atoms=(atom,))),),
+        )
+        applied = sub.apply_conjunction(conj)
+        assert applied.atoms[0] == Atom("R", (a, y))
+        assert applied.comparisons[0] == Comparison("<", a, y)
+        assert applied.negations[0].inner.atoms[0] == Atom("R", (a, y))
+
+    def test_apply_polymorphic(self):
+        sub = Substitution({x: a})
+        assert sub.apply(Equality(x, y)) == Equality(a, y)
+        assert sub.apply(x) == a
+
+    def test_equality_and_hash(self):
+        assert Substitution({x: a}) == Substitution({x: a})
+        assert len({Substitution({x: a}), Substitution({x: a})}) == 1
+
+
+class TestMatchAtom:
+    def test_basic_match(self):
+        sub = match_atom(Atom("R", (x, y)), Atom("R", (a, b)))
+        assert sub is not None
+        assert sub[x] == a and sub[y] == b
+
+    def test_repeated_variable(self):
+        assert match_atom(Atom("R", (x, x)), Atom("R", (a, b))) is None
+        sub = match_atom(Atom("R", (x, x)), Atom("R", (a, a)))
+        assert sub is not None and sub[x] == a
+
+    def test_constants_rigid(self):
+        assert match_atom(Atom("R", (a,)), Atom("R", (b,))) is None
+        assert match_atom(Atom("R", (a,)), Atom("R", (a,))) is not None
+
+    def test_relation_and_arity_mismatch(self):
+        assert match_atom(Atom("R", (x,)), Atom("S", (a,))) is None
+        assert match_atom(Atom("R", (x,)), Atom("R", (a, b))) is None
+
+    def test_seed_respected(self):
+        seed = Substitution({x: a})
+        assert match_atom(Atom("R", (x,)), Atom("R", (b,)), seed) is None
+        sub = match_atom(Atom("R", (x,)), Atom("R", (a,)), seed)
+        assert sub is not None
+
+    def test_nulls_matchable_by_variables(self):
+        sub = match_atom(Atom("R", (x,)), Atom("R", (Null(1),)))
+        assert sub is not None and sub[x] == Null(1)
+
+
+class TestUnifyAtoms:
+    def test_variable_variable(self):
+        sub = unify_atoms(Atom("R", (x,)), Atom("R", (y,)))
+        assert sub is not None
+        assert sub.apply_term(x) == sub.apply_term(y)
+
+    def test_variable_constant(self):
+        sub = unify_atoms(Atom("R", (x, y)), Atom("R", (a, y)))
+        assert sub is not None and sub[x] == a
+
+    def test_clash(self):
+        assert unify_atoms(Atom("R", (a,)), Atom("R", (b,))) is None
+
+    def test_chained(self):
+        # R(x, x) with R(y, a) forces x = y = a.
+        sub = unify_atoms(Atom("R", (x, x)), Atom("R", (y, a)))
+        assert sub is not None
+        assert sub.apply_term(x) == a
+        assert sub.apply_term(y) == a
+
+    def test_different_relations(self):
+        assert unify_atoms(Atom("R", (x,)), Atom("S", (x,))) is None

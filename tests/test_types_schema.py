@@ -1,0 +1,169 @@
+"""Unit tests for data types, relations, schemas, keys and FDs."""
+
+import pytest
+
+from repro.errors import ArityError, SchemaError, TypingError, UnknownRelationError
+from repro.logic.atoms import Equality
+from repro.logic.dependencies import DependencyKind
+from repro.logic.terms import Constant, Null
+from repro.relational.schema import Attribute, FunctionalDependency, Relation, Schema
+from repro.relational.types import DataType, check_term, check_value, parse_literal
+
+
+class TestDataType:
+    def test_from_name_aliases(self):
+        assert DataType.from_name("integer") is DataType.INT
+        assert DataType.from_name("TEXT") is DataType.STRING
+        assert DataType.from_name("double") is DataType.FLOAT
+        assert DataType.from_name("boolean") is DataType.BOOL
+
+    def test_from_name_unknown(self):
+        with pytest.raises(TypingError):
+            DataType.from_name("blob")
+
+    def test_admits_bool_not_int(self):
+        assert not DataType.INT.admits(True)
+        assert DataType.BOOL.admits(True)
+        assert not DataType.BOOL.admits(1)
+
+    def test_float_admits_int(self):
+        assert DataType.FLOAT.admits(3)
+        assert DataType.FLOAT.admits(3.5)
+        assert not DataType.FLOAT.admits(True)
+
+    def test_any(self):
+        for value in (1, 1.5, "x", False):
+            assert DataType.ANY.admits(value)
+
+    def test_check_value_raises(self):
+        with pytest.raises(TypingError):
+            check_value("x", DataType.INT)
+
+    def test_check_term_null_passes_all(self):
+        for dtype in DataType:
+            check_term(Null(1), dtype)
+
+    def test_parse_literal(self):
+        assert parse_literal("42", DataType.INT) == Constant(42)
+        assert parse_literal("2.5", DataType.FLOAT) == Constant(2.5)
+        assert parse_literal("yes", DataType.BOOL) == Constant(True)
+        assert parse_literal("no", DataType.BOOL) == Constant(False)
+        assert parse_literal("hi", DataType.STRING) == Constant("hi")
+        with pytest.raises(TypingError):
+            parse_literal("maybe", DataType.BOOL)
+
+
+class TestRelation:
+    def make(self):
+        return Relation(
+            "R",
+            [Attribute("a", DataType.INT), Attribute("b", DataType.STRING)],
+            key=("a",),
+        )
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", [Attribute("a"), Attribute("a")])
+
+    def test_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            Relation("R", [Attribute("a")], key=("zz",))
+
+    def test_position_of(self):
+        relation = self.make()
+        assert relation.position_of("b") == 1
+        with pytest.raises(SchemaError):
+            relation.position_of("zz")
+
+    def test_check_fact_arity(self):
+        with pytest.raises(ArityError):
+            self.make().check_fact((Constant(1),))
+
+    def test_check_fact_types(self):
+        relation = self.make()
+        relation.check_fact((Constant(1), Constant("x")))
+        with pytest.raises(TypingError):
+            relation.check_fact((Constant("bad"), Constant("x")))
+        # Nulls are always admitted.
+        relation.check_fact((Null(1), Null(2)))
+
+    def test_key_egd_shape(self):
+        dependency = self.make().key_egd()
+        assert dependency is not None
+        assert dependency.kind is DependencyKind.EGD
+        # key(a) determines b: one equality.
+        assert len(dependency.disjuncts[0].equalities) == 1
+
+    def test_key_egd_none_without_key(self):
+        assert Relation("R", [Attribute("a")]).key_egd() is None
+
+    def test_key_covering_all_attributes_yields_none(self):
+        relation = Relation("R", [Attribute("a")], key=("a",))
+        assert relation.key_egd() is None
+
+    def test_fd_egds(self):
+        relation = Relation(
+            "R",
+            [Attribute("a"), Attribute("b"), Attribute("c")],
+            fds=(FunctionalDependency(["a"], ["b", "c"]),),
+        )
+        egds = relation.fd_egds()
+        assert len(egds) == 1
+        assert len(egds[0].disjuncts[0].equalities) == 2
+
+    def test_fd_validation(self):
+        with pytest.raises(SchemaError):
+            FunctionalDependency([], ["b"])
+        with pytest.raises(SchemaError):
+            Relation(
+                "R", [Attribute("a")], fds=(FunctionalDependency(["zz"], ["a"]),)
+            )
+
+    def test_fresh_atom(self):
+        atom = self.make().fresh_atom()
+        assert atom.relation == "R"
+        assert atom.arity == 2
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        schema = Schema("s")
+        schema.add_relation("R", [("a", "int")])
+        assert "R" in schema
+        assert schema.arity("R") == 1
+        with pytest.raises(UnknownRelationError):
+            schema.relation("S")
+
+    def test_duplicate_relation_rejected(self):
+        schema = Schema("s")
+        schema.add_relation("R", [("a", "int")])
+        with pytest.raises(SchemaError):
+            schema.add_relation("R", [("a", "int")])
+
+    def test_constraint_egds_collects_all(self):
+        schema = Schema("s")
+        schema.add_relation("R", [("a", "int"), ("b", "int")], key=["a"])
+        schema.add_relation("S", [("a", "int")])
+        assert len(schema.constraint_egds()) == 1
+
+    def test_union(self):
+        left = Schema("l")
+        left.add_relation("R", [("a", "int")])
+        right = Schema("r")
+        right.add_relation("S", [("a", "int")])
+        merged = left.union(right)
+        assert "R" in merged and "S" in merged
+
+    def test_union_clash(self):
+        left = Schema("l")
+        left.add_relation("R", [("a", "int")])
+        right = Schema("r")
+        right.add_relation("R", [("a", "int")])
+        with pytest.raises(SchemaError):
+            left.union(right)
+
+    def test_str_contains_relations(self):
+        schema = Schema("s")
+        schema.add_relation("R", [("a", "int")], key=["a"])
+        rendered = str(schema)
+        assert "R(a int)" in rendered and "key(a)" in rendered

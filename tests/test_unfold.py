@@ -1,0 +1,215 @@
+"""Unit tests for polarity-aware view expansion (unfolding)."""
+
+import pytest
+
+from repro.core.unfold import expand_atom, expand_conjunction, expand_negation
+from repro.datalog.program import ViewProgram
+from repro.logic.atoms import (
+    Atom,
+    Comparison,
+    Conjunction,
+    NegatedConjunction,
+)
+from repro.logic.terms import Constant, Variable, VariableFactory
+from repro.relational.schema import Schema
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+@pytest.fixture()
+def schema():
+    out = Schema("base")
+    out.add_relation("A", [("u", "int"), ("v", "int")])
+    out.add_relation("B", [("u", "int")])
+    out.add_relation("C", [("u", "int")])
+    return out
+
+
+@pytest.fixture()
+def factory():
+    return VariableFactory(prefix="f")
+
+
+class TestBaseAtoms:
+    def test_base_atom_passthrough(self, schema, factory):
+        branches = expand_atom(Atom("A", (x, y)), None, factory)
+        assert len(branches) == 1
+        assert branches[0].conjunction.atoms == (Atom("A", (x, y)),)
+
+    def test_base_atom_with_program(self, schema, factory):
+        program = ViewProgram(schema)
+        branches = expand_atom(Atom("A", (x, y)), program, factory)
+        assert len(branches) == 1
+        assert branches[0].provenance == ()
+
+
+class TestConjunctiveViews:
+    def test_classic_unfolding(self, schema, factory):
+        program = ViewProgram(schema)
+        program.define(
+            Atom("V", (x,)), Conjunction(atoms=(Atom("A", (x, y)), Atom("B", (y,))))
+        )
+        branches = expand_atom(Atom("V", (z,)), program, factory)
+        assert len(branches) == 1
+        conjunction = branches[0].conjunction
+        assert len(conjunction.atoms) == 2
+        # Head variable x is replaced by the actual argument z.
+        assert conjunction.atoms[0].terms[0] == z
+        # The body-local y is standardized apart (not literally `y`).
+        local = conjunction.atoms[0].terms[1]
+        assert local != y
+        assert conjunction.atoms[1].terms[0] == local
+        assert branches[0].provenance == ("V",)
+
+    def test_nested_views(self, schema, factory):
+        program = ViewProgram(schema)
+        program.define(Atom("V1", (x,)), Conjunction(atoms=(Atom("B", (x,)),)))
+        program.define(Atom("V2", (x,)), Conjunction(atoms=(Atom("V1", (x,)),)))
+        branches = expand_atom(Atom("V2", (z,)), program, factory)
+        assert len(branches) == 1
+        assert branches[0].conjunction.atoms == (Atom("B", (z,)),)
+        assert branches[0].provenance == ("V2", "V1")
+
+    def test_union_views_multiply(self, schema, factory):
+        program = ViewProgram(schema)
+        program.define(Atom("U", (x,)), Conjunction(atoms=(Atom("B", (x,)),)))
+        program.define(Atom("U", (x,)), Conjunction(atoms=(Atom("C", (x,)),)))
+        branches = expand_atom(Atom("U", (z,)), program, factory)
+        assert len(branches) == 2
+        relations = {b.conjunction.atoms[0].relation for b in branches}
+        assert relations == {"B", "C"}
+
+    def test_comparisons_carried(self, schema, factory):
+        program = ViewProgram(schema)
+        program.define(
+            Atom("V", (x,)),
+            Conjunction(
+                atoms=(Atom("A", (x, y)),),
+                comparisons=(Comparison("<", y, Constant(5)),),
+            ),
+        )
+        branches = expand_atom(Atom("V", (z,)), program, factory)
+        comparison = branches[0].conjunction.comparisons[0]
+        assert comparison.op == "<"
+        assert comparison.right == Constant(5)
+
+    def test_head_constant_matches_constant(self, schema, factory):
+        program = ViewProgram(schema)
+        program.define(
+            Atom("V", (x, Constant(1))), Conjunction(atoms=(Atom("B", (x,)),))
+        )
+        hit = expand_atom(Atom("V", (z, Constant(1))), program, factory)
+        assert len(hit) == 1 and not hit[0].conjunction.comparisons
+        miss = expand_atom(Atom("V", (z, Constant(2))), program, factory)
+        assert miss == []
+
+    def test_head_constant_against_variable_becomes_comparison(
+        self, schema, factory
+    ):
+        program = ViewProgram(schema)
+        program.define(
+            Atom("V", (x, Constant(1))), Conjunction(atoms=(Atom("B", (x,)),))
+        )
+        branches = expand_atom(Atom("V", (z, y)), program, factory)
+        assert len(branches) == 1
+        comparison = branches[0].conjunction.comparisons[0]
+        assert comparison == Comparison("=", y, Constant(1))
+
+    def test_repeated_head_variable(self, schema, factory):
+        program = ViewProgram(schema)
+        program.define(
+            Atom("V", (x, x)), Conjunction(atoms=(Atom("A", (x, x)),))
+        )
+        branches = expand_atom(Atom("V", (y, z)), program, factory)
+        assert len(branches) == 1
+        # y and z must be equated.
+        assert Comparison("=", y, z) in branches[0].conjunction.comparisons
+
+
+class TestNegation:
+    def test_negated_base_atom(self, schema, factory):
+        negation = NegatedConjunction(Conjunction(atoms=(Atom("B", (x,)),)))
+        necs, provenance = expand_negation(negation, None, factory)
+        assert len(necs) == 1
+        assert provenance == ()
+
+    def test_negated_view_inlines_body(self, schema, factory):
+        program = ViewProgram(schema)
+        program.define(
+            Atom("V", (x,)), Conjunction(atoms=(Atom("A", (x, y)), Atom("B", (y,))))
+        )
+        negation = NegatedConjunction(Conjunction(atoms=(Atom("V", (z,)),)))
+        necs, provenance = expand_negation(negation, program, factory)
+        assert len(necs) == 1
+        assert len(necs[0].inner.atoms) == 2
+        assert "V" in provenance
+
+    def test_negated_union_gives_one_nec_per_branch(self, schema, factory):
+        program = ViewProgram(schema)
+        program.define(Atom("U", (x,)), Conjunction(atoms=(Atom("B", (x,)),)))
+        program.define(Atom("U", (x,)), Conjunction(atoms=(Atom("C", (x,)),)))
+        negation = NegatedConjunction(Conjunction(atoms=(Atom("U", (z,)),)))
+        necs, _provenance = expand_negation(negation, program, factory)
+        assert len(necs) == 2
+
+    def test_negated_view_with_negation_nests(self, schema, factory):
+        program = ViewProgram(schema)
+        program.define(
+            Atom("V", (x,)),
+            Conjunction(
+                atoms=(Atom("B", (x,)),),
+                negations=(
+                    NegatedConjunction(Conjunction(atoms=(Atom("C", (x,)),))),
+                ),
+            ),
+        )
+        negation = NegatedConjunction(Conjunction(atoms=(Atom("V", (z,)),)))
+        necs, _provenance = expand_negation(negation, program, factory)
+        assert len(necs) == 1
+        inner = necs[0].inner
+        assert inner.atoms == (Atom("B", (z,)),)
+        assert len(inner.negations) == 1
+        assert inner.negations[0].inner.atoms == (Atom("C", (z,)),)
+
+
+class TestConjunctionExpansion:
+    def test_product_of_unions(self, schema, factory):
+        program = ViewProgram(schema)
+        program.define(Atom("U", (x,)), Conjunction(atoms=(Atom("B", (x,)),)))
+        program.define(Atom("U", (x,)), Conjunction(atoms=(Atom("C", (x,)),)))
+        body = Conjunction(atoms=(Atom("U", (y,)), Atom("U", (z,))))
+        branches = expand_conjunction(body, program, factory)
+        assert len(branches) == 4
+
+    def test_empty_expansion_propagates(self, schema, factory):
+        program = ViewProgram(schema)
+        program.define(
+            Atom("V", (x, Constant(1))), Conjunction(atoms=(Atom("B", (x,)),))
+        )
+        body = Conjunction(
+            atoms=(Atom("V", (y, Constant(2))), Atom("B", (y,)))
+        )
+        assert expand_conjunction(body, program, factory) == []
+
+    def test_running_example_unpopular_depth(self, target_views, factory):
+        """UnpopularProduct expands into the triple-nested NEC structure."""
+        pid, n = Variable("pid"), Variable("n")
+        branches = expand_conjunction(
+            Conjunction(atoms=(Atom("UnpopularProduct", (pid, n)),)),
+            target_views,
+            factory,
+        )
+        assert len(branches) == 1
+        conjunction = branches[0].conjunction
+        assert [a.relation for a in conjunction.atoms] == ["T_Product"]
+        # Two NECs: not Avg, not Popular.
+        assert len(conjunction.negations) == 2
+        depths = sorted(n.inner.negation_depth() for n in conjunction.negations)
+        # not Popular nests one level (its body holds a NEC);
+        # not Avg nests two (its body holds not Popular).
+        assert depths == [1, 2]
+        assert set(branches[0].provenance) >= {
+            "UnpopularProduct",
+            "AvgProduct",
+            "PopularProduct",
+        }
