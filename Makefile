@@ -1,0 +1,29 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test ci-test bench example batch help
+
+help:
+	@echo "make test      - full suite (tier-1: tests + benchmarks)"
+	@echo "make ci-test   - fast suite (benchmarks excluded by marker)"
+	@echo "make bench     - benchmark suite only"
+	@echo "make example   - regenerate examples/running_example.grom"
+	@echo "make batch     - run the default batch corpus end to end"
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+ci-test:
+	$(PYTHON) -m pytest -x -q -m "not bench"
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+# The shipped DSL artifact is generated, never hand-edited: regenerate it
+# from scenarios/running_example.py whenever the example or the
+# serializer changes, so file and code cannot drift apart.
+example:
+	$(PYTHON) -m repro.cli export-example examples/running_example.grom
+
+batch:
+	$(PYTHON) -m repro.cli batch mixed --cache-dir .grom-cache --results batch-results.jsonl

@@ -14,6 +14,22 @@ from repro.core.rewriter import rewrite
 from repro.scenarios.running_example import build_scenario
 
 
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under benchmarks/ so CI can deselect it.
+
+    The hook sees the whole session's items, so filter by path — items
+    inside *this* conftest's directory get the ``bench`` marker (a bare
+    substring test would misfire on checkouts whose path happens to
+    contain "benchmarks").
+    """
+    import pathlib
+
+    here = pathlib.Path(__file__).parent.resolve()
+    for item in items:
+        if here in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def running_rewritten():
     return rewrite(build_scenario())

@@ -1,0 +1,85 @@
+"""E8: batch throughput — scenarios/sec, serial vs. pooled vs. cached.
+
+The batch runtime's three execution shapes over one corpus:
+
+* **serial-cold** — one process, no rewrite cache: the baseline the
+  single-scenario CLI would give you, times N;
+* **pooled** — the multiprocessing executor (only expected to win
+  wall-clock when the machine actually has more than one core; the
+  assertion is gated on that, the measurement is always printed);
+* **serial-warm** — repeat run over a disk-backed rewrite cache: every
+  scenario fingerprint hits, zero rewrites re-execute.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import print_experiment_table
+
+from repro.reporting import Table
+from repro.runtime.corpus import Corpus, spec
+from repro.runtime.executor import BatchOptions, run_batch
+
+# At least 2 so the pool machinery is always exercised; the wall-clock
+# win is only asserted when the hardware can actually parallelize.
+POOL_JOBS = max(2, min(4, os.cpu_count() or 1))
+
+
+def _throughput_corpus() -> Corpus:
+    """Heavy-enough tasks that pool dispatch overhead amortizes."""
+    specs = tuple(
+        spec("flagged", flags=2, products=20, name_pairs=2, seed=seed)
+        for seed in range(8)
+    ) + tuple(
+        spec("partition", width=4, default_key=True, items=24,
+             duplicate_names=1, seed=seed)
+        for seed in range(4)
+    )
+    return Corpus("e8-throughput", "batch throughput workload", specs)
+
+
+def test_report_e8(tmp_path):
+    corpus = _throughput_corpus()
+    cache_dir = str(tmp_path / "rewrite-cache")
+
+    serial = run_batch(corpus, BatchOptions(jobs=1, use_cache=False))
+    pooled = run_batch(corpus, BatchOptions(jobs=POOL_JOBS, use_cache=False))
+    cold = run_batch(corpus, BatchOptions(jobs=1, cache_dir=cache_dir))
+    warm = run_batch(corpus, BatchOptions(jobs=1, cache_dir=cache_dir))
+
+    table = Table(
+        f"E8: batch throughput over {len(corpus)} scenarios "
+        f"(cpus={os.cpu_count()})",
+        ["mode", "wall s", "scen/s", "rewrite s", "cache hit rate"],
+    )
+    for name, report in (
+        ("serial-cold", serial),
+        (f"pooled-x{pooled.jobs}", pooled),
+        ("serial-cache-cold", cold),
+        ("serial-cache-warm", warm),
+    ):
+        summary = report.summary
+        table.add(
+            name,
+            summary.wall_seconds,
+            summary.scenarios_per_second,
+            summary.rewrite_seconds,
+            summary.cache_hit_rate,
+        )
+    print_experiment_table(table)
+
+    for report in (serial, pooled, cold, warm):
+        assert report.summary.clean
+        assert report.summary.total == len(corpus)
+
+    # The warm cache must replay every rewriting: 100% hits, no rewrite
+    # re-executed (what remains of rewrite_seconds is decode time).
+    assert warm.summary.cache_hit_rate == 1.0
+    assert all(record.cache_hit for record in warm.records)
+    assert [r.status for r in warm.records] == [r.status for r in serial.records]
+
+    # The pool can only beat serial wall-clock given real parallel
+    # hardware; on a single-core box it still must degrade gracefully.
+    if (os.cpu_count() or 1) > 1 and pooled.mode == "pool":
+        assert pooled.wall_seconds < serial.wall_seconds

@@ -66,17 +66,44 @@ from repro.logic import (
     egd,
     tgd,
 )
-from repro.pipeline import PipelineResult, run_scenario, strip_auxiliary
+from repro.pipeline import (
+    PipelineResult,
+    run_rewritten,
+    run_scenario,
+    strip_auxiliary,
+)
 from repro.relational import DataType, Instance, Relation, Schema
+from repro.runtime import (
+    BatchOptions,
+    BatchReport,
+    Corpus,
+    RewriteCache,
+    ScenarioSpec,
+    fingerprint_instance,
+    fingerprint_scenario,
+    get_corpus,
+    run_batch,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     # pipeline
     "run_scenario",
+    "run_rewritten",
     "PipelineResult",
     "strip_auxiliary",
+    # batch runtime
+    "run_batch",
+    "BatchOptions",
+    "BatchReport",
+    "Corpus",
+    "ScenarioSpec",
+    "get_corpus",
+    "RewriteCache",
+    "fingerprint_scenario",
+    "fingerprint_instance",
     # core
     "MappingScenario",
     "rewrite",

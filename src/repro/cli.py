@@ -78,6 +78,50 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "export-example", help="write the running example as a DSL file"
     )
     export.add_argument("output", type=Path)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="run a generated scenario corpus through the whole pipeline",
+    )
+    batch.add_argument(
+        "corpus", nargs="?", default=None,
+        help="corpus name (default: the built-in mixed workload)",
+    )
+    batch.add_argument(
+        "--list", action="store_true", help="list available corpora and exit"
+    )
+    batch.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial; >1 uses a multiprocessing pool)",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-scenario wall-clock budget in seconds",
+    )
+    batch.add_argument(
+        "--limit", type=int, default=None,
+        help="only run the first N scenarios of the corpus",
+    )
+    batch.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="directory for the on-disk rewrite cache (shared by workers "
+             "and by repeat runs)",
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed rewrite cache",
+    )
+    batch.add_argument(
+        "--results", type=Path, default=None,
+        help="write one JSONL task record per scenario to this file",
+    )
+    batch.add_argument(
+        "--max-scenarios", type=int, default=256,
+        help="budget for the greedy ded chase",
+    )
+    batch.add_argument(
+        "--no-verify", action="store_true", help="skip the soundness check"
+    )
     return parser
 
 
@@ -173,6 +217,60 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     return 0 if outcome.ok else 1
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.reporting import (
+        batch_family_table,
+        batch_slowest_table,
+        batch_summary_table,
+    )
+    from repro.runtime.corpus import DEFAULT_CORPUS, describe_corpora, get_corpus
+    from repro.runtime.executor import BatchOptions, run_batch
+    from repro.runtime.results import write_jsonl
+
+    if args.list:
+        table = Table("Available corpora", ["name", "scenarios", "description"])
+        for name, size, description in describe_corpora():
+            table.add(name, size, description)
+        table.print()
+        return 0
+
+    try:
+        corpus = get_corpus(args.corpus or DEFAULT_CORPUS)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.limit is not None:
+        corpus = corpus.limited(args.limit)
+
+    options = BatchOptions(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        verify=not args.no_verify,
+        max_scenarios=args.max_scenarios,
+        use_cache=not args.no_cache,
+        cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+    )
+    report = run_batch(corpus, options)
+
+    if args.results is not None:
+        written = write_jsonl(report.records, args.results)
+        print(f"wrote {written} task records to {args.results}")
+    batch_summary_table(report).print()
+    batch_family_table(report.records).print()
+    batch_slowest_table(report.records).print()
+
+    summary = report.summary
+    if not summary.clean:
+        for record in report.records:
+            if record.error:
+                print(
+                    f"problem: {record.label}: {record.status}: {record.error}",
+                    file=sys.stderr,
+                )
+        return 1
+    return 0
+
+
 def _cmd_export_example(args: argparse.Namespace) -> int:
     from repro.scenarios.running_example import (
         build_scenario,
@@ -197,6 +295,7 @@ def main(argv: Optional[list] = None) -> int:
         "chase": _cmd_chase,
         "demo": _cmd_demo,
         "export-example": _cmd_export_example,
+        "batch": _cmd_batch,
     }
     return handlers[args.command](args)
 

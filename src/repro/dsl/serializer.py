@@ -13,7 +13,14 @@ from repro.relational.instance import Instance
 from repro.relational.schema import Schema
 from repro.relational.types import DataType
 
-__all__ = ["serialize_scenario", "serialize_dependency", "serialize_instance"]
+__all__ = [
+    "serialize_scenario",
+    "serialize_dependency",
+    "serialize_instance",
+    "serialize_relation",
+    "serialize_rule",
+    "serialize_fact",
+]
 
 
 def _term(term: Term) -> str:
@@ -73,15 +80,36 @@ def serialize_dependency(dependency: Dependency) -> str:
     return f"{label}{premise} -> {conclusion}."
 
 
+def serialize_relation(relation) -> str:
+    """One relation declaration exactly as it appears inside a schema block.
+
+    Public so the batch runtime's fingerprints can hash schema content
+    relation-by-relation (order-insensitively) with the same text the
+    DSL round-trips through.
+    """
+    attributes = ", ".join(
+        f"{a.name}" if a.dtype is DataType.ANY else f"{a.name} {a.dtype}"
+        for a in relation.attributes
+    )
+    key = f" key({', '.join(relation.key)})" if relation.key else ""
+    return f"{relation.name}({attributes}){key}."
+
+
+def serialize_rule(rule) -> str:
+    """One view rule as it appears inside a views block."""
+    label = f"{rule.name}: " if rule.name else ""
+    return f"{label}{_atom(rule.head)} <- {_conjunction(rule.body)}."
+
+
+def serialize_fact(fact: Atom) -> str:
+    """One ground fact as it appears inside an instance block."""
+    return f"{_atom(fact)}."
+
+
 def _schema(schema: Schema, side: str) -> List[str]:
     lines = [f"{side} schema {schema.name} {{"]
     for relation in schema:
-        attributes = ", ".join(
-            f"{a.name}" if a.dtype is DataType.ANY else f"{a.name} {a.dtype}"
-            for a in relation.attributes
-        )
-        key = f" key({', '.join(relation.key)})" if relation.key else ""
-        lines.append(f"  {relation.name}({attributes}){key}.")
+        lines.append(f"  {serialize_relation(relation)}")
     lines.append("}")
     return lines
 
@@ -89,8 +117,7 @@ def _schema(schema: Schema, side: str) -> List[str]:
 def _views(program: ViewProgram, side: str) -> List[str]:
     lines = [f"{side} views {{"]
     for rule in program:
-        label = f"{rule.name}: " if rule.name else ""
-        lines.append(f"  {label}{_atom(rule.head)} <- {_conjunction(rule.body)}.")
+        lines.append(f"  {serialize_rule(rule)}")
     lines.append("}")
     return lines
 
@@ -100,7 +127,7 @@ def serialize_instance(instance: Instance, side: str) -> str:
     lines = [f"instance {side} {{"]
     for relation in sorted(instance.relations()):
         for fact in sorted(instance.facts(relation), key=str):
-            lines.append(f"  {_atom(fact)}.")
+            lines.append(f"  {serialize_fact(fact)}")
     lines.append("}")
     return "\n".join(lines)
 

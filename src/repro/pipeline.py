@@ -20,8 +20,9 @@ from repro.core.rewriter import AUX_PREFIX, RewriteResult, rewrite
 from repro.core.scenario import MappingScenario
 from repro.core.verify import VerificationReport, verify_solution
 from repro.relational.instance import Instance
+from repro.relational.schema import Schema
 
-__all__ = ["PipelineResult", "run_scenario", "strip_auxiliary"]
+__all__ = ["PipelineResult", "run_scenario", "run_rewritten", "strip_auxiliary"]
 
 
 @dataclass
@@ -41,9 +42,17 @@ class PipelineResult:
         return self.chase.ok and verified
 
 
-def strip_auxiliary(instance: Instance) -> Instance:
-    """Drop the rewriter's ``_grom_req_*`` bookkeeping relations."""
-    stripped = Instance()
+def strip_auxiliary(
+    instance: Instance, schema: Optional[Schema] = None
+) -> Instance:
+    """Drop the rewriter's ``_grom_req_*`` bookkeeping relations.
+
+    When ``schema`` is given (or the input instance carries one), the
+    stripped instance keeps it, so downstream consumers can still
+    validate facts against the physical target schema instead of
+    receiving a schemaless bag of atoms.
+    """
+    stripped = Instance(schema if schema is not None else instance.schema)
     for fact in instance:
         if not fact.relation.startswith(AUX_PREFIX):
             stripped.add(fact)
@@ -70,6 +79,34 @@ def run_scenario(
        scenario (the paper's soundness contract).
     """
     rewritten = rewrite(scenario, unfold_source_premises=unfold_source_premises)
+    return run_rewritten(
+        scenario,
+        rewritten,
+        source_instance,
+        verify=verify,
+        config=config,
+        max_scenarios=max_scenarios,
+        unfold_source_premises=unfold_source_premises,
+    )
+
+
+def run_rewritten(
+    scenario: MappingScenario,
+    rewritten: RewriteResult,
+    source_instance: Instance,
+    verify: bool = True,
+    config: Optional[ChaseConfig] = None,
+    max_scenarios: int = 256,
+    unfold_source_premises: bool = False,
+) -> PipelineResult:
+    """Chase + verify with an already-computed rewriting.
+
+    The batch runtime's content-addressed cache stores rewritings keyed
+    by scenario fingerprint; this entry point lets a cache hit skip step
+    1 of :func:`run_scenario` entirely while keeping the chase and the
+    soundness verification identical.  ``unfold_source_premises`` must
+    match the flag the rewriting was produced with.
+    """
     if unfold_source_premises:
         chase_input = source_instance
     else:
@@ -89,7 +126,7 @@ def run_scenario(
         )
         chase_result = standard.run(chase_input)
 
-    target = strip_auxiliary(chase_result.target)
+    target = strip_auxiliary(chase_result.target, scenario.target_schema)
     verification = None
     if verify and chase_result.ok:
         verification = verify_solution(scenario, source_instance, target)

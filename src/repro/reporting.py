@@ -7,9 +7,20 @@ consistent without pulling in a formatting dependency.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Union
 
-__all__ = ["format_table", "format_row", "Table"]
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.runtime.executor import BatchReport
+    from repro.runtime.results import TaskRecord
+
+__all__ = [
+    "format_table",
+    "format_row",
+    "Table",
+    "batch_summary_table",
+    "batch_family_table",
+    "batch_slowest_table",
+]
 
 Cell = Union[str, int, float, bool, None]
 
@@ -78,3 +89,72 @@ class Table:
     def print(self) -> None:
         print()
         print(self.render())
+
+
+# ---------------------------------------------------------------------------
+# Batch-run views (consume repro.runtime.results records)
+# ---------------------------------------------------------------------------
+
+
+def batch_summary_table(report: "BatchReport") -> Table:
+    """One-row-per-metric overview of a batch run."""
+    summary = report.summary
+    table = Table(f"Batch run: {report.corpus}", ["metric", "value"])
+    table.add("scenarios", summary.total)
+    table.add("mode", f"{report.mode} (jobs={report.jobs})")
+    table.add("succeeded", summary.succeeded)
+    table.add("chase failures", summary.failed)
+    table.add("nonterminated", summary.nonterminated)
+    table.add("timeouts", summary.timeouts)
+    table.add("errors", summary.errors)
+    table.add("verified sound", summary.verified)
+    table.add("cache hits", f"{summary.cache_hits}/{summary.cache_lookups}")
+    table.add("cache hit rate", summary.cache_hit_rate)
+    table.add("rewrite seconds", summary.rewrite_seconds)
+    table.add("chase seconds", summary.chase_seconds)
+    table.add("wall seconds", summary.wall_seconds)
+    table.add("scenarios/sec", summary.scenarios_per_second)
+    if report.note:
+        table.add("note", report.note)
+    return table
+
+
+def batch_family_table(records: Sequence["TaskRecord"]) -> Table:
+    """Per-family outcome/timing breakdown of batch task records."""
+    table = Table(
+        "By family",
+        ["family", "runs", "ok", "cache hits", "rewrite s", "chase s"],
+    )
+    families: List[str] = []
+    for record in records:
+        if record.family not in families:
+            families.append(record.family)
+    for family in families:
+        mine = [r for r in records if r.family == family]
+        table.add(
+            family,
+            len(mine),
+            sum(1 for r in mine if r.ok),
+            sum(1 for r in mine if r.cache_hit),
+            sum(r.rewrite_seconds for r in mine),
+            sum(r.chase_seconds for r in mine),
+        )
+    return table
+
+
+def batch_slowest_table(records: Sequence["TaskRecord"], top: int = 5) -> Table:
+    """The ``top`` slowest tasks — where a sharding PR should look first."""
+    table = Table(
+        f"Slowest {top} tasks",
+        ["task", "status", "total s", "chase s", "target facts"],
+    )
+    ranked = sorted(records, key=lambda r: r.total_seconds, reverse=True)
+    for record in ranked[:top]:
+        table.add(
+            record.label,
+            record.status,
+            record.total_seconds,
+            record.chase_seconds,
+            record.target_facts,
+        )
+    return table

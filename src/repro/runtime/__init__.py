@@ -1,0 +1,58 @@
+"""Batch runtime: the scale-out substrate over the single-scenario pipeline.
+
+The paper's pitch is that rewriting makes executing *many* semantic
+mapping scenarios cheap; this package supplies the machinery to actually
+run many of them:
+
+* :mod:`repro.runtime.fingerprint` — canonical, order-insensitive
+  content fingerprints of scenarios and instances (via the DSL
+  serializer), so identical work is recognized across runs;
+* :mod:`repro.runtime.cache` — a content-addressed rewrite cache
+  (in-memory LRU + optional on-disk JSON backend) keyed by those
+  fingerprints;
+* :mod:`repro.runtime.corpus` — named, reproducible workloads
+  enumerating the parameterized scenario families;
+* :mod:`repro.runtime.executor` — a batch executor with a
+  ``multiprocessing`` worker pool, per-task timeouts and graceful
+  degradation to serial execution;
+* :mod:`repro.runtime.results` — JSONL task records and aggregate
+  summaries consumed by :mod:`repro.reporting`.
+"""
+
+from repro.runtime.cache import CacheStats, RewriteCache, decode_rewrite, encode_rewrite
+from repro.runtime.corpus import Corpus, ScenarioSpec, corpus_names, get_corpus
+from repro.runtime.executor import BatchOptions, BatchReport, run_batch
+from repro.runtime.fingerprint import (
+    fingerprint_instance,
+    fingerprint_scenario,
+    fingerprint_task,
+)
+from repro.runtime.results import (
+    BatchSummary,
+    TaskRecord,
+    read_jsonl,
+    summarize,
+    write_jsonl,
+)
+
+__all__ = [
+    "fingerprint_scenario",
+    "fingerprint_instance",
+    "fingerprint_task",
+    "RewriteCache",
+    "CacheStats",
+    "encode_rewrite",
+    "decode_rewrite",
+    "Corpus",
+    "ScenarioSpec",
+    "get_corpus",
+    "corpus_names",
+    "BatchOptions",
+    "BatchReport",
+    "run_batch",
+    "TaskRecord",
+    "BatchSummary",
+    "write_jsonl",
+    "read_jsonl",
+    "summarize",
+]

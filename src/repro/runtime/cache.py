@@ -1,0 +1,271 @@
+"""Content-addressed rewrite cache: fingerprint → serialized rewriting.
+
+Rewriting is pure in the scenario — two fingerprint-identical scenarios
+rewrite to the same ``Σ_ST ∪ Σ_T`` — so the batch runtime stores
+rewritings by :func:`~repro.runtime.fingerprint.fingerprint_scenario`
+and replays them instead of re-running the normalization worklist.
+
+The cache payload is plain JSON built on the DSL: each rewritten
+dependency is serialized (label stripped — rewriter-generated names like
+``m0.g0`` or ``e0#p0`` contain characters the lexer treats as comments,
+so names travel out-of-band) and parsed back with
+:func:`repro.dsl.parser.parse_dependency`.  Provenance and auxiliary
+arities ride along verbatim.
+
+Two tiers:
+
+* an in-memory LRU (``capacity`` entries, oldest-use evicted), and
+* an optional on-disk JSON backend (one file per fingerprint, written
+  atomically via rename) so warm state survives processes — this is how
+  pool workers share a cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.core.rewriter import Provenance, RewriteResult
+from repro.core.scenario import MappingScenario
+from repro.dsl.parser import parse_dependency
+from repro.dsl.serializer import serialize_dependency
+from repro.logic.dependencies import Dependency
+from repro.runtime.fingerprint import fingerprint_scenario
+
+__all__ = ["CacheStats", "RewriteCache", "encode_rewrite", "decode_rewrite"]
+
+_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Rewrite (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def encode_rewrite(
+    result: RewriteResult, unfold_source_premises: bool = False
+) -> dict:
+    """A JSON-safe payload capturing everything the chase needs.
+
+    ``unfold_source_premises`` records which rewrite mode produced the
+    result; :meth:`RewriteCache.fetch` refuses to serve a payload whose
+    mode differs from the one requested.
+    """
+    return {
+        "version": _FORMAT_VERSION,
+        "unfold_source_premises": bool(unfold_source_premises),
+        "dependencies": [
+            {
+                "name": dependency.name,
+                "text": serialize_dependency(
+                    Dependency(dependency.premise, dependency.disjuncts, "")
+                ),
+            }
+            for dependency in result.dependencies
+        ],
+        "provenance": {
+            name: {"origin": info.origin, "views": list(info.views), "role": info.role}
+            for name, info in result.provenance.items()
+        },
+        "aux_arities": dict(result.aux_arities),
+    }
+
+
+def decode_rewrite(payload: dict, scenario: MappingScenario) -> RewriteResult:
+    """Rebuild a :class:`RewriteResult` for ``scenario`` from a payload."""
+    dependencies = []
+    for item in payload["dependencies"]:
+        parsed = parse_dependency(item["text"])
+        dependencies.append(
+            Dependency(parsed.premise, parsed.disjuncts, item["name"])
+        )
+    provenance = {
+        name: Provenance(
+            origin=info["origin"],
+            views=tuple(info["views"]),
+            role=info["role"],
+        )
+        for name, info in payload["provenance"].items()
+    }
+    aux_arities = {name: int(arity) for name, arity in payload["aux_arities"].items()}
+    return RewriteResult(scenario, dependencies, provenance, aux_arities)
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters; one instance per :class:`RewriteCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class RewriteCache:
+    """LRU of rewrite payloads keyed by scenario fingerprint.
+
+    ``directory`` enables the on-disk tier: entries are spilled to
+    ``<directory>/<fingerprint>.json`` on :meth:`put` and looked up
+    there on memory misses.  Writes go through a temporary file and
+    ``os.replace``, so concurrent workers never observe a torn entry.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        directory: Optional[os.PathLike] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+
+    # -- raw payload access -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries or self._disk_path_if_present(
+            fingerprint
+        ) is not None
+
+    def _disk_path_if_present(self, fingerprint: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        path = self.directory / f"{fingerprint}.json"
+        return path if path.exists() else None
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        """The cached payload, or ``None`` (counts a hit or a miss)."""
+        entry = self._entries.get(fingerprint)
+        if entry is not None:
+            self._entries.move_to_end(fingerprint)
+            self.stats.hits += 1
+            return entry
+        path = self._disk_path_if_present(fingerprint)
+        if path is not None:
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, ValueError):
+                entry = None
+        if entry is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._store_memory(fingerprint, entry)
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def put(self, fingerprint: str, payload: dict) -> None:
+        self.stats.puts += 1
+        self._store_memory(fingerprint, payload)
+        if self.directory is not None:
+            self._write_disk(fingerprint, payload)
+
+    def _store_memory(self, fingerprint: str, payload: dict) -> None:
+        self._entries[fingerprint] = payload
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _write_disk(self, fingerprint: str, payload: dict) -> None:
+        assert self.directory is not None
+        final = self.directory / f"{fingerprint}.json"
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(self.directory), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream)
+            os.replace(temp_name, final)
+        except OSError:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (disk entries survive)."""
+        self._entries.clear()
+
+    # -- the convenient front door ------------------------------------------
+
+    def fetch(
+        self,
+        scenario: MappingScenario,
+        fingerprint: Optional[str] = None,
+        unfold_source_premises: bool = False,
+    ) -> Tuple[Optional[RewriteResult], str]:
+        """Look up the rewriting of ``scenario``; returns (result|None, fp).
+
+        A payload from a different format version, produced with a
+        different ``unfold_source_premises`` mode, or that fails to
+        decode (e.g. a corrupted or hand-edited disk entry) is treated
+        as a miss — the caller recomputes — never as a task error.
+        """
+        fingerprint = fingerprint or fingerprint_scenario(scenario)
+        payload = self.get(fingerprint)
+        if payload is None:
+            return None, fingerprint
+        if (
+            isinstance(payload, dict)
+            and payload.get("version") == _FORMAT_VERSION
+            and bool(payload.get("unfold_source_premises", False))
+            == bool(unfold_source_premises)
+        ):
+            try:
+                return decode_rewrite(payload, scenario), fingerprint
+            except Exception:
+                # Corrupted/hand-edited entry: forget it so the slot can
+                # be refilled with a good rewriting.
+                self._entries.pop(fingerprint, None)
+        return self._miss(fingerprint)
+
+    def _miss(self, fingerprint: str) -> Tuple[None, str]:
+        """Reclassify an unusable lookup (already counted a hit)."""
+        self.stats.hits -= 1
+        self.stats.misses += 1
+        return None, fingerprint
+
+    def store(
+        self,
+        fingerprint: str,
+        result: RewriteResult,
+        unfold_source_premises: bool = False,
+    ) -> None:
+        self.put(fingerprint, encode_rewrite(result, unfold_source_premises))

@@ -1,0 +1,242 @@
+"""Scenario corpora: named, reproducible batch workloads.
+
+A :class:`ScenarioSpec` is a *description* of one unit of work — a
+scenario family name plus plain keyword parameters — rather than the
+built objects themselves.  Specs are hashable, picklable and tiny, so
+the multiprocess executor ships specs to workers and each worker
+rebuilds its scenario locally (deterministically: the generators are
+seeded).
+
+A :class:`Corpus` is an ordered collection of specs under a name.  The
+built-in registry enumerates the parameterized families of
+:mod:`repro.scenarios.generators` into sweeps over evolution depth,
+ontology fan-out (partition width), ded arity (flag count) and failure
+rate (duplicate-name/cancellation shares).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from repro.scenarios.generators import FAMILIES, GeneratedScenario, build_family
+
+__all__ = [
+    "ScenarioSpec",
+    "Corpus",
+    "spec",
+    "register_corpus",
+    "get_corpus",
+    "corpus_names",
+    "describe_corpora",
+    "DEFAULT_CORPUS",
+]
+
+DEFAULT_CORPUS = "mixed"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One unit of batch work: a family plus its parameters."""
+
+    family: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            known = ", ".join(sorted(FAMILIES))
+            raise KeyError(
+                f"unknown scenario family {self.family!r} (known: {known})"
+            )
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable identity, e.g. ``flagged(flags=2,seed=0)``."""
+        inside = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.family}({inside})"
+
+    def params_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    def build(self) -> GeneratedScenario:
+        """Materialize the scenario and its source instance."""
+        return build_family(self.family, **self.params_dict())
+
+
+def spec(family: str, **params: object) -> ScenarioSpec:
+    """Spec constructor with keyword ergonomics (params sorted by name)."""
+    return ScenarioSpec(family, tuple(sorted(params.items())))
+
+
+@dataclass(frozen=True)
+class Corpus:
+    """A named, ordered, reproducible workload."""
+
+    name: str
+    description: str
+    specs: Tuple[ScenarioSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self.specs)
+
+    def limited(self, limit: int) -> "Corpus":
+        """A prefix of this corpus (for smoke-testing big workloads)."""
+        if limit >= len(self.specs):
+            return self
+        return Corpus(
+            name=f"{self.name}[:{limit}]",
+            description=self.description,
+            specs=self.specs[:limit],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_BUILDERS: Dict[str, Callable[[], Corpus]] = {}
+
+
+def register_corpus(builder: Callable[[], Corpus]) -> Callable[[], Corpus]:
+    """Register a corpus builder under the name it produces."""
+    corpus = builder()
+    _BUILDERS[corpus.name] = builder
+    return builder
+
+
+def get_corpus(name: str) -> Corpus:
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BUILDERS))
+        raise KeyError(f"unknown corpus {name!r} (known: {known})") from None
+    return builder()
+
+
+def corpus_names() -> List[str]:
+    return sorted(_BUILDERS)
+
+
+def describe_corpora() -> List[Tuple[str, int, str]]:
+    """(name, size, description) for every registered corpus."""
+    out = []
+    for name in corpus_names():
+        corpus = get_corpus(name)
+        out.append((corpus.name, len(corpus), corpus.description))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Built-in workloads
+# ---------------------------------------------------------------------------
+
+
+@register_corpus
+def _smoke() -> Corpus:
+    """One small case per family — a seconds-long sanity workload."""
+    specs = (
+        spec("running", products=8, seed=0),
+        spec("cleanup", orders=15, cancelled_share=0.3, seed=0),
+        spec("evolution", with_soft_delete=False, employees=12, seed=0),
+        spec("evolution", with_soft_delete=True, employees=12, seed=0),
+        spec("partition", width=2, class_keys=True, items=10, seed=0),
+        spec("flagged", flags=1, products=6, name_pairs=1, seed=0),
+        spec("random", seed=0),
+        spec("random", seed=1),
+    )
+    return Corpus("smoke", "one small case per family", specs)
+
+
+@register_corpus
+def _mixed() -> Corpus:
+    """The default batch workload: every family, every sweep axis."""
+    specs: List[ScenarioSpec] = []
+    for seed in range(20):
+        specs.append(spec("random", seed=seed, instance_rows=10))
+    for flags in (1, 2, 3):  # ded arity sweep
+        for name_pairs in (0, 1):  # failure-rate sweep
+            for seed in (0, 1):
+                specs.append(
+                    spec(
+                        "flagged",
+                        flags=flags,
+                        products=8,
+                        name_pairs=name_pairs,
+                        seed=seed,
+                    )
+                )
+    for orders in (20, 40):
+        for share in (0.0, 0.3, 0.6):  # failure-rate sweep
+            specs.append(
+                spec("cleanup", orders=orders, cancelled_share=share, seed=0)
+            )
+    for soft in (False, True):  # evolution depth (plain vs. +soft-delete)
+        for employees in (20, 50):
+            specs.append(
+                spec("evolution", with_soft_delete=soft, employees=employees, seed=0)
+            )
+    for width in (2, 3, 4):  # ontology fan-out sweep
+        for default_key in (False, True):
+            specs.append(
+                spec(
+                    "partition",
+                    width=width,
+                    default_key=default_key,
+                    items=20,
+                    seed=0,
+                    duplicate_names=1 if default_key else 0,
+                )
+            )
+    for width in (2, 3):
+        specs.append(spec("partition", width=width, class_keys=True, items=20, seed=0))
+    for products in (8, 16):
+        specs.append(spec("running", products=products, seed=7))
+    return Corpus(
+        "mixed",
+        "every family: random, ded-arity, failure-rate, evolution and "
+        "fan-out sweeps",
+        tuple(specs),
+    )
+
+
+@register_corpus
+def _flagged_sweep() -> Corpus:
+    """Ded arity (flags) × failure pressure (name pairs)."""
+    specs = tuple(
+        spec("flagged", flags=flags, products=10, name_pairs=pairs, seed=seed)
+        for flags in (1, 2, 3, 4)
+        for pairs in (0, 1, 2)
+        for seed in (0, 1)
+    )
+    return Corpus(
+        "flagged-sweep", "ded arity x failure-rate over the flag-view family", specs
+    )
+
+
+@register_corpus
+def _partition_sweep() -> Corpus:
+    """Ontology fan-out: partition width 2..6, with and without ded keys."""
+    specs = tuple(
+        spec(
+            "partition",
+            width=width,
+            default_key=default_key,
+            items=24,
+            seed=seed,
+            duplicate_names=1 if default_key else 0,
+        )
+        for width in (2, 3, 4, 5, 6)
+        for default_key in (False, True)
+        for seed in (0, 1)
+    )
+    return Corpus("partition-sweep", "ontology fan-out over partition width", specs)
+
+
+@register_corpus
+def _random_100() -> Corpus:
+    """100 randomized well-formed scenarios (property-test shapes)."""
+    specs = tuple(spec("random", seed=seed) for seed in range(100))
+    return Corpus("random-100", "100 randomized scenarios", specs)

@@ -1,0 +1,166 @@
+"""JSONL task records and aggregate summaries for batch runs.
+
+One :class:`TaskRecord` per executed spec: identity (corpus, index,
+family, params, fingerprints), outcome (pipeline status, verification),
+timings (build / rewrite / chase / total) and cache behaviour.  Records
+serialize to one JSON object per line so arbitrarily large runs stream
+to disk and standard tooling (``jq``, pandas) can consume them.
+
+:func:`summarize` folds records into a :class:`BatchSummary`;
+:func:`repro.reporting.batch_summary_table` renders that for humans.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "TaskRecord",
+    "BatchSummary",
+    "write_jsonl",
+    "read_jsonl",
+    "summarize",
+]
+
+# Task statuses beyond the chase's own success/failure/nontermination.
+STATUS_TIMEOUT = "timeout"
+STATUS_ERROR = "error"
+
+
+@dataclass
+class TaskRecord:
+    """The outcome of one spec run through the pipeline."""
+
+    corpus: str
+    index: int
+    label: str
+    family: str
+    params: Dict[str, object]
+    fingerprint: str = ""
+    """Scenario fingerprint (the rewrite-cache key)."""
+    task_fingerprint: str = ""
+    """Scenario + instance + pipeline-parameter fingerprint."""
+
+    status: str = ""
+    """``success`` / ``failure`` / ``nontermination`` / ``timeout`` / ``error``."""
+    ok: bool = False
+    verified: Optional[bool] = None
+    error: str = ""
+
+    cache_hit: bool = False
+    build_seconds: float = 0.0
+    rewrite_seconds: float = 0.0
+    chase_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    dependencies: int = 0
+    deds: int = 0
+    source_facts: int = 0
+    target_facts: int = 0
+    rounds: int = 0
+    scenarios_tried: int = 0
+    nulls_created: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TaskRecord":
+        return cls(**json.loads(line))
+
+
+def write_jsonl(records: Iterable[TaskRecord], path) -> int:
+    """Write records one-per-line; returns how many were written."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w") as stream:
+        for record in records:
+            stream.write(record.to_json())
+            stream.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path) -> List[TaskRecord]:
+    records = []
+    with Path(path).open() as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                records.append(TaskRecord.from_json(line))
+    return records
+
+
+@dataclass
+class BatchSummary:
+    """Aggregate view of one batch run."""
+
+    total: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    nonterminated: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    verified: int = 0
+    cache_hits: int = 0
+    cache_lookups: int = 0
+    rewrite_seconds: float = 0.0
+    chase_seconds: float = 0.0
+    task_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    by_family: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.cache_lookups if self.cache_lookups else 0.0
+
+    @property
+    def scenarios_per_second(self) -> float:
+        return self.total / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def clean(self) -> bool:
+        """No infrastructure problems (chase failures are a valid outcome)."""
+        return self.errors == 0 and self.timeouts == 0
+
+    def as_dict(self) -> Dict[str, object]:
+        out = asdict(self)
+        out["cache_hit_rate"] = self.cache_hit_rate
+        out["scenarios_per_second"] = self.scenarios_per_second
+        return out
+
+
+def summarize(
+    records: Iterable[TaskRecord], wall_seconds: float = 0.0
+) -> BatchSummary:
+    """Fold task records into one :class:`BatchSummary`."""
+    summary = BatchSummary(wall_seconds=wall_seconds)
+    for record in records:
+        summary.total += 1
+        summary.by_family[record.family] = (
+            summary.by_family.get(record.family, 0) + 1
+        )
+        if record.status == "success":
+            summary.succeeded += 1
+        elif record.status == "failure":
+            summary.failed += 1
+        elif record.status == "nontermination":
+            summary.nonterminated += 1
+        elif record.status == STATUS_TIMEOUT:
+            summary.timeouts += 1
+        else:
+            summary.errors += 1
+        if record.verified:
+            summary.verified += 1
+        summary.cache_lookups += 1
+        if record.cache_hit:
+            summary.cache_hits += 1
+        summary.rewrite_seconds += record.rewrite_seconds
+        summary.chase_seconds += record.chase_seconds
+        summary.task_seconds += record.total_seconds
+    return summary

@@ -47,6 +47,14 @@ __all__ = [
     "cleanup_instance",
     "random_scenario",
     "GeneratedScenario",
+    "flagged_case",
+    "cleanup_case",
+    "random_case",
+    "evolution_case",
+    "partition_case",
+    "running_case",
+    "FAMILIES",
+    "build_family",
 ]
 
 FLAG_BASE = 100
@@ -375,3 +383,144 @@ def random_scenario(
             *[rng.randint(0, 5) for _j in range(arities[relation])],
         )
     return GeneratedScenario(scenario=scenario, instance=instance)
+
+
+# ---------------------------------------------------------------------------
+# Family registry (the batch runtime's corpus vocabulary)
+# ---------------------------------------------------------------------------
+#
+# Each *case* builder pairs one member of a scenario family with a
+# matching source instance, keyed entirely by plain keyword parameters,
+# so a (family, params) pair is a complete, picklable, reproducible
+# description of one unit of batch work.
+
+
+def flagged_case(
+    flags: int = 1,
+    products: int = 10,
+    name_pairs: int = 2,
+    seed: int = 0,
+) -> GeneratedScenario:
+    """Flag-view family: ded arity scales with ``flags``, failure rate
+    with ``name_pairs`` (each pair adds a failing equality branch)."""
+    return GeneratedScenario(
+        scenario=flagged_scenario(flags=flags),
+        instance=flagged_instance(
+            products=products, name_pairs=name_pairs, seed=seed
+        ),
+    )
+
+
+def cleanup_case(
+    orders: int = 50,
+    cancelled_share: float = 0.3,
+    seed: int = 0,
+) -> GeneratedScenario:
+    """Clean-up family: negation-filtering views over denormalized data."""
+    return GeneratedScenario(
+        scenario=cleanup_scenario(),
+        instance=cleanup_instance(
+            orders=orders, cancelled_share=cancelled_share, seed=seed
+        ),
+    )
+
+
+def random_case(
+    seed: int = 0,
+    relations: int = 2,
+    views: int = 3,
+    mappings: int = 3,
+    negation_probability: float = 0.4,
+    union_probability: float = 0.2,
+    with_keys: bool = True,
+    instance_rows: int = 12,
+) -> GeneratedScenario:
+    """Randomized family (property-test shapes, always well-formed)."""
+    return random_scenario(
+        seed=seed,
+        relations=relations,
+        views=views,
+        mappings=mappings,
+        negation_probability=negation_probability,
+        union_probability=union_probability,
+        with_keys=with_keys,
+        instance_rows=instance_rows,
+    )
+
+
+def evolution_case(
+    with_soft_delete: bool = False,
+    employees: int = 40,
+    seed: int = 0,
+) -> GeneratedScenario:
+    """Schema-evolution family (legacy mappings over a re-normalized
+    target, optionally composed with the soft-delete clean-up view)."""
+    from repro.scenarios.evolution import evolution_instance, evolution_scenario
+
+    return GeneratedScenario(
+        scenario=evolution_scenario(with_soft_delete=with_soft_delete),
+        instance=evolution_instance(employees=employees, seed=seed),
+    )
+
+
+def partition_case(
+    width: int = 3,
+    default_key: bool = False,
+    class_keys: bool = False,
+    items: int = 30,
+    seed: int = 0,
+    default_share: float = 0.25,
+    duplicate_names: int = 0,
+) -> GeneratedScenario:
+    """Partition-hierarchy family: ontology fan-out is ``width`` (the
+    default-class key rewrites to a ``width + 1``-disjunct ded)."""
+    from repro.scenarios.ontology import partition_instance, partition_scenario
+
+    return GeneratedScenario(
+        scenario=partition_scenario(
+            width=width, default_key=default_key, class_keys=class_keys
+        ),
+        instance=partition_instance(
+            width=width,
+            items=items,
+            seed=seed,
+            default_share=default_share,
+            duplicate_names=duplicate_names,
+        ),
+    )
+
+
+def running_case(
+    products: int = 12,
+    seed: int = 7,
+    benign_name_pairs: int = 0,
+    include_key: bool = True,
+) -> GeneratedScenario:
+    """The paper's Section 2 running example."""
+    return GeneratedScenario(
+        scenario=running_example.build_scenario(include_key=include_key),
+        instance=running_example.generate_source_instance(
+            products=products, seed=seed, benign_name_pairs=benign_name_pairs
+        ),
+    )
+
+
+FAMILIES = {
+    "flagged": flagged_case,
+    "cleanup": cleanup_case,
+    "random": random_case,
+    "evolution": evolution_case,
+    "partition": partition_case,
+    "running": running_case,
+}
+"""Family name → case builder; the corpus layer enumerates over this."""
+
+
+def build_family(family: str, **params) -> GeneratedScenario:
+    """Build one case of a named family (raises ``KeyError`` on unknown)."""
+    try:
+        builder = FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise KeyError(f"unknown scenario family {family!r} (known: {known})")
+    return builder(**params)

@@ -1,0 +1,82 @@
+"""DSL round-tripping, property-style: ``parse(serialize(s))`` must be
+*fingerprint-identical* to ``s`` for every generated scenario family.
+
+This is the correctness bedrock of the content-addressed rewrite cache:
+fingerprints are computed from the serializer, so if serialization lost
+or mangled content, a cache hit could replay the wrong rewriting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsl.parser import parse_scenario
+from repro.dsl.serializer import serialize_scenario
+from repro.runtime.fingerprint import (
+    canonical_scenario,
+    fingerprint_instance,
+    fingerprint_scenario,
+)
+from repro.scenarios.generators import build_family
+
+FAMILY_CASES = [
+    ("running", {}),
+    ("running", {"include_key": False, "products": 5}),
+    ("cleanup", {"orders": 10}),
+    ("flagged", {"flags": 1, "products": 6}),
+    ("flagged", {"flags": 3, "products": 6, "name_pairs": 2}),
+    ("evolution", {"employees": 8}),
+    ("evolution", {"with_soft_delete": True, "employees": 8}),
+    ("partition", {"width": 2, "items": 8}),
+    ("partition", {"width": 4, "default_key": True, "items": 8}),
+    ("partition", {"width": 3, "class_keys": True, "items": 8}),
+]
+FAMILY_CASES += [("random", {"seed": seed}) for seed in range(15)]
+FAMILY_CASES += [
+    ("random", {"seed": 50, "negation_probability": 1.0, "union_probability": 1.0}),
+    ("random", {"seed": 51, "relations": 4, "views": 6, "mappings": 6}),
+]
+
+
+def _case_id(case) -> str:
+    family, params = case
+    inside = ",".join(f"{k}={v}" for k, v in sorted(params.items()))
+    return f"{family}({inside})"
+
+
+@pytest.mark.parametrize("case", FAMILY_CASES, ids=_case_id)
+def test_parse_of_serialize_is_fingerprint_identical(case):
+    family, params = case
+    generated = build_family(family, **params)
+    document = parse_scenario(serialize_scenario(generated.scenario))
+    assert fingerprint_scenario(document.scenario) == fingerprint_scenario(
+        generated.scenario
+    ), (
+        "round-trip drifted; canonical diff:\n"
+        f"{canonical_scenario(generated.scenario)}\nvs\n"
+        f"{canonical_scenario(document.scenario)}"
+    )
+
+
+@pytest.mark.parametrize("case", FAMILY_CASES, ids=_case_id)
+def test_embedded_instance_round_trips(case):
+    family, params = case
+    generated = build_family(family, **params)
+    text = serialize_scenario(
+        generated.scenario, source_instance=generated.instance
+    )
+    document = parse_scenario(text)
+    assert document.source_instance is not None
+    assert fingerprint_instance(document.source_instance) == fingerprint_instance(
+        generated.instance
+    )
+
+
+def test_double_round_trip_is_stable():
+    """serialize ∘ parse reaches a fixpoint after one round."""
+    generated = build_family("flagged", flags=2, products=6)
+    once = serialize_scenario(parse_scenario(
+        serialize_scenario(generated.scenario)
+    ).scenario)
+    twice = serialize_scenario(parse_scenario(once).scenario)
+    assert once == twice
