@@ -47,3 +47,33 @@ def print_experiment_table(table) -> None:
     print()
     print(table.render())
     sys.stdout.flush()
+
+
+def quick_mode() -> bool:
+    """Whether the bench suite runs in CI smoke mode.
+
+    ``GROM_BENCH_QUICK=1`` shrinks workloads to a single small round per
+    experiment so CI can track the perf trajectory on every PR without
+    paying for the full sweep.
+    """
+    import os
+
+    return os.environ.get("GROM_BENCH_QUICK", "") not in ("", "0")
+
+
+def record_bench_json(name: str, payload) -> None:
+    """Write ``BENCH_<name>.json`` for the CI artifact upload.
+
+    ``GROM_BENCH_DIR`` overrides the output directory (default: cwd).
+    Payloads are plain dicts of experiment measurements; CI uploads every
+    ``BENCH_*.json`` so the perf trajectory is inspectable per PR.
+    """
+    import json
+    import os
+
+    directory = os.environ.get("GROM_BENCH_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

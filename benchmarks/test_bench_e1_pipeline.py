@@ -5,7 +5,6 @@ transparently over the physical databases.  We measure the three stages
 separately — rewriting, chase, verification — on the Section 2 scenario.
 """
 
-import pytest
 
 from repro.chase.ded import GreedyDedChase
 from repro.core.rewriter import rewrite

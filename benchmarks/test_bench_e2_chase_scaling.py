@@ -15,9 +15,10 @@ from repro.chase.engine import StandardChase
 from repro.reporting import Table
 from repro.scenarios.running_example import generate_source_instance
 
-from conftest import print_experiment_table
+from conftest import print_experiment_table, quick_mode, record_bench_json
 
 SIZES = [100, 500, 1000, 2000]
+QUICK_SIZES = [100, 500]
 
 
 @pytest.mark.parametrize("products", SIZES)
@@ -40,8 +41,9 @@ def test_report_e2(benchmark, running_rewritten_no_key):
         "E2: chase scaling (ded-free running example)",
         ["products", "target facts", "nulls", "rounds", "time (s)", "facts/s"],
     )
+    sizes = QUICK_SIZES if quick_mode() else SIZES
     times = {}
-    for products in SIZES:
+    for products in sizes:
         source = generate_source_instance(products=products, stores=10, seed=2)
         engine = StandardChase(
             running_rewritten_no_key.dependencies,
@@ -60,6 +62,17 @@ def test_report_e2(benchmark, running_rewritten_no_key):
             int(len(result.target) / elapsed) if elapsed else 0,
         )
     print_experiment_table(table)
-    # Shape check: 20x the data should cost far less than 100x the time
-    # (i.e. clearly sub-quadratic).
-    assert times[2000] < times[100] * 100
+    record_bench_json(
+        "e2_chase_scaling",
+        {
+            "quick": quick_mode(),
+            "seconds_by_products": {str(k): v for k, v in times.items()},
+        },
+    )
+    # Shape check: the compiled evaluator keeps the chase near-linear —
+    # growing the data by Nx may cost at most ~1.3Nx the time (1.3x
+    # headroom for cache effects), plus a small absolute floor so timer
+    # noise on tiny runs cannot flake the bound.  This runs in quick
+    # (CI) mode too, so a superlinear regression fails the smoke job.
+    fact_ratio = sizes[-1] / sizes[0]
+    assert times[sizes[-1]] <= times[sizes[0]] * fact_ratio * 1.3 + 0.05, times

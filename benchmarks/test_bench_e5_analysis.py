@@ -10,7 +10,6 @@ rewriting on every one of them.
 
 import time
 
-import pytest
 
 from repro.core.analysis import predict_deds
 from repro.core.rewriter import rewrite

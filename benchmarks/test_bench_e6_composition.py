@@ -9,14 +9,13 @@ against the chase itself, and cross-check the alternative strategy
 
 import time
 
-import pytest
 
 from repro.core.compose import extend_source
 from repro.core.scenario import MappingScenario
 from repro.datalog.program import ViewProgram
 from repro.logic.atoms import Atom, Conjunction, NegatedConjunction
 from repro.logic.dependencies import tgd
-from repro.logic.terms import Constant, Variable
+from repro.logic.terms import Variable
 from repro.pipeline import run_scenario
 from repro.relational.instance import Instance
 from repro.relational.schema import Schema

@@ -17,14 +17,13 @@ from repro.chase.engine import StandardChase
 from repro.core.rewriter import rewrite
 from repro.reporting import Table
 from repro.scenarios.running_example import (
-    build_mappings,
     build_scenario,
     build_source_schema,
     build_target_schema,
     generate_source_instance,
 )
 
-from conftest import print_experiment_table
+from conftest import print_experiment_table, quick_mode, record_bench_json
 
 
 def conjunctive_variant():
@@ -132,7 +131,9 @@ def test_report_e7(benchmark):
             "chase (s)",
         ],
     )
-    source = generate_source_instance(products=300, stores=10, seed=6)
+    products = 60 if quick_mode() else 300
+    source = generate_source_instance(products=products, stores=10, seed=6)
+    rows = {}
     for name, factory, expect_ded in VARIANTS:
         scenario = factory()
         t0 = time.perf_counter()
@@ -162,4 +163,13 @@ def test_report_e7(benchmark):
             t1 - t0,
             t2 - t1,
         )
+        rows[name] = {
+            "dependencies": len(rewritten.dependencies),
+            "engine": engine_name,
+            "rewrite_seconds": t1 - t0,
+            "chase_seconds": t2 - t1,
+        }
     print_experiment_table(table)
+    record_bench_json(
+        "e7_tradeoff", {"quick": quick_mode(), "products": products, "rows": rows}
+    )

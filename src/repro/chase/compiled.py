@@ -1,0 +1,197 @@
+"""Per-dependency compiled execution plans for the chase hot path.
+
+A chase run evaluates the same handful of dependencies over and over:
+every round re-finds premise matches, and every premise match probes
+every conclusion disjunct for satisfaction.  Re-planning those joins on
+each call dominated the profile, so this module compiles each dependency
+once and caches
+
+* the premise join plan (full evaluation),
+* one *anchored* premise plan per premise atom (delta evaluation joins
+  the anchor — restricted to the round's new facts — first),
+* per disjunct: the equality/comparison schedule plus a compiled
+  satisfaction probe seeded with the premise variables.
+
+Satisfaction probing is a **hash anti-join**: the conclusion relation's
+hash index (on the positions the premise binds) is the build side, the
+premise matches are the probe side, and a match is *unsatisfied* exactly
+when its key misses the index.  Because
+:meth:`repro.relational.instance.Instance.index` maintains live indexes
+incrementally on insertion, facts created by enforcing one match are
+visible to the next match's probe — preserving the restricted chase's
+semantics while each probe costs O(1) instead of a fresh join.
+
+Plans are data-independent (relation sizes only break ties), so one
+:class:`CompiledDependency` is reusable across rounds, runs, and — for
+the greedy ded search — across all derived scenarios of a selection
+sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ChaseError, TypingError
+from repro.logic.atoms import Atom, Conjunction
+from repro.logic.dependencies import Dependency
+from repro.logic.terms import Term, Variable
+from repro.relational.instance import Instance
+from repro.relational import query as _query
+from repro.relational.query import (
+    Binding,
+    CompiledQuery,
+    evaluate,
+    evaluate_delta,
+    exists,
+)
+
+__all__ = ["CompiledDependency", "compile_dependencies"]
+
+
+def _resolve(term: Term, binding: Binding) -> Term:
+    """Strict resolution: an unbound variable in a disjunct equality or
+    comparison is a malformed dependency and must fail loudly (matching
+    the engine's historical behaviour and ``DisjunctiveChase``)."""
+    if isinstance(term, Variable):
+        value = binding.get(term)
+        if value is None:
+            raise ChaseError(f"unbound variable {term} during chase step")
+        return value
+    return term
+
+
+def _ground_check(comparison, binding: Binding) -> bool:
+    ground = type(comparison)(
+        comparison.op,
+        _resolve(comparison.left, binding),
+        _resolve(comparison.right, binding),
+    )
+    try:
+        return ground.evaluate()
+    except TypingError:
+        return False
+
+
+class CompiledDependency:
+    """One dependency's cached premise and satisfaction plans.
+
+    Plans are recompiled when the relations they touch have grown past
+    twice the size they were compiled at: join-order quality depends on
+    selectivity estimates, and the first probes of a chase run happen
+    against still-empty target relations whose statistics are useless.
+    The doubling rule keeps recompiles logarithmic in the final instance
+    size while plans never run against statistics more than 2x stale.
+    """
+
+    __slots__ = ("dependency", "_premise_vars", "_satisfaction_bodies", "_plans")
+
+    #: Below this many facts any plan is fine; avoids churn on tiny data.
+    _RECOMPILE_FLOOR = 8
+
+    def __init__(self, dependency: Dependency) -> None:
+        self.dependency = dependency
+        self._premise_vars = frozenset(dependency.premise.positive_variables())
+        self._satisfaction_bodies = [
+            Conjunction(atoms=disjunct.atoms) for disjunct in dependency.disjuncts
+        ]
+        # plan-key -> (CompiledQuery, watched relation size at compile)
+        self._plans: Dict[object, Tuple[CompiledQuery, int]] = {}
+
+    def _plan(
+        self,
+        key: object,
+        body: Conjunction,
+        bound: frozenset,
+        instance: Instance,
+        first_atom: Optional[int] = None,
+    ) -> CompiledQuery:
+        entry = self._plans.get(key)
+        size = instance.size
+        current = sum(size(r) for r in {a.relation for a in body.atoms})
+        if entry is not None:
+            plan, compiled_at = entry
+            if current < 2 * max(compiled_at, self._RECOMPILE_FLOOR):
+                return plan
+        plan = CompiledQuery(body, bound, instance, first_atom)
+        self._plans[key] = (plan, current)
+        return plan
+
+    # -- premise -----------------------------------------------------------
+
+    def premise_matches(
+        self, working: Instance, delta: Optional[Set[Atom]]
+    ) -> List[Binding]:
+        """All premise bindings, optionally restricted to ``delta`` facts."""
+        if _query.reference_mode_active():
+            if delta is None:
+                return evaluate(self.dependency.premise, working)
+            return evaluate_delta(self.dependency.premise, working, delta)
+        if delta is None:
+            plan = self._plan(
+                "premise", self.dependency.premise, frozenset(), working
+            )
+            return list(plan.bindings(working))
+        return self._delta_matches(working, delta)
+
+    def _delta_matches(self, working: Instance, delta: Set[Atom]) -> List[Binding]:
+        premise = self.dependency.premise
+        if not premise.atoms:
+            return self.premise_matches(working, None)
+        relations_in_delta = {f.relation for f in delta}
+        out: List[Binding] = []
+        seen: Set[Tuple[Tuple[Variable, Term], ...]] = set()
+        for anchor_index, anchor in enumerate(premise.atoms):
+            if anchor.relation not in relations_in_delta:
+                continue
+            plan = self._plan(
+                ("anchor", anchor_index),
+                premise,
+                frozenset(),
+                working,
+                first_atom=anchor_index,
+            )
+            for binding in plan.bindings(working, delta=delta):
+                key = tuple(sorted(binding.items()))
+                if key not in seen:
+                    seen.add(key)
+                    out.append(binding)
+        return out
+
+    # -- satisfaction ------------------------------------------------------
+
+    def disjunct_satisfied(
+        self, disjunct_index: int, binding: Binding, working: Instance
+    ) -> bool:
+        """Whether one conclusion disjunct already holds under ``binding``."""
+        disjunct = self.dependency.disjuncts[disjunct_index]
+        for equality in disjunct.equalities:
+            if _resolve(equality.left, binding) != _resolve(equality.right, binding):
+                return False
+        for comparison in disjunct.comparisons:
+            if not _ground_check(comparison, binding):
+                return False
+        if not disjunct.atoms:
+            return True
+        if _query.reference_mode_active():
+            return exists(Conjunction(atoms=disjunct.atoms), working, seed=binding)
+        plan = self._plan(
+            ("satisfied", disjunct_index),
+            self._satisfaction_bodies[disjunct_index],
+            self._premise_vars,
+            working,
+        )
+        return plan.exists(working, binding)
+
+    def satisfied(self, binding: Binding, working: Instance) -> bool:
+        """Whether *any* conclusion disjunct holds under ``binding``."""
+        return any(
+            self.disjunct_satisfied(i, binding, working)
+            for i in range(len(self.dependency.disjuncts))
+        )
+
+
+def compile_dependencies(
+    dependencies: Sequence[Dependency],
+) -> List[CompiledDependency]:
+    """Compile every dependency of a scenario (plans fill in lazily)."""
+    return [CompiledDependency(dependency) for dependency in dependencies]

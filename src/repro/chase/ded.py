@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.chase.compiled import compile_dependencies
 from repro.chase.engine import ChaseConfig, StandardChase
 from repro.chase.result import ChaseResult, ChaseStats, ChaseStatus
 from repro.logic.dependencies import Dependency, Disjunct
@@ -82,6 +83,12 @@ class GreedyDedChase:
             )
             for ded in self.deds
         ]
+        # Every derived scenario shares one dependency list (standard part
+        # followed by the whole deds); compile its plans once so the
+        # selection sweep never re-plans a join between scenarios.
+        self._compiled = compile_dependencies(
+            self.standard + [info.dependency for info in self._infos]
+        )
 
     # -- selection enumeration ----------------------------------------------
 
@@ -155,6 +162,7 @@ class GreedyDedChase:
                 self.source_relations,
                 self.config,
                 branch_choice=choice,
+                compiled=self._compiled,
             )
             result = engine.run(source_instance, target_instance)
             aggregate = aggregate.merge(result.stats)
@@ -169,7 +177,12 @@ class GreedyDedChase:
                 return result
             last = result
         if last is None:  # no deds and the standard part failed?  run it once
-            engine = StandardChase(self.standard, self.source_relations, self.config)
+            engine = StandardChase(
+                self.standard,
+                self.source_relations,
+                self.config,
+                compiled=self._compiled[: len(self.standard)],
+            )
             last = engine.run(source_instance, target_instance)
             tried = 1
         last.stats = aggregate.merge(ChaseStats())

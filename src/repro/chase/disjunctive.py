@@ -20,17 +20,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.chase.engine import ChaseConfig, StandardChase, _ground_check, _resolve
-from repro.chase.result import ChaseResult, ChaseStats, ChaseStatus
-from repro.errors import ChaseFailure, ChaseNonTermination
 from repro.logic.atoms import Atom, Conjunction
 from repro.logic.dependencies import Dependency, Disjunct
 from repro.logic.homomorphism import exists_homomorphism
 from repro.logic.terms import Null, NullFactory, Term, Variable
 from repro.relational.instance import Instance
-from repro.relational.query import evaluate, exists
+from repro.relational.query import evaluate_iter, exists
 
 __all__ = ["DisjunctiveChase", "DisjunctiveResult", "disjunctive_chase"]
 
@@ -157,8 +155,11 @@ class DisjunctiveChase:
     def _find_ded_violation(
         self, working: Instance
     ) -> Optional[Tuple[Dependency, Dict[Variable, Term]]]:
+        # Lazy scan: the generator pipeline stops at the first premise
+        # match with no satisfied disjunct instead of materializing every
+        # match of every ded at every tree node.
         for dependency in self.deds:
-            for binding in evaluate(dependency.premise, working):
+            for binding in evaluate_iter(dependency.premise, working):
                 if not any(
                     _disjunct_satisfied(disjunct, binding, working)
                     for disjunct in dependency.disjuncts

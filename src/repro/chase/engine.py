@@ -26,16 +26,21 @@ emits when asked to unfold source premises.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ChaseError, ChaseFailure, ChaseNonTermination
+from repro.chase.compiled import (
+    CompiledDependency,
+    compile_dependencies,
+    _ground_check,
+    _resolve,
+)
 from repro.chase.result import ChaseResult, ChaseStats, ChaseStatus
-from repro.logic.atoms import Atom, Comparison, Conjunction
-from repro.logic.dependencies import Dependency, DependencyKind, Disjunct
-from repro.logic.terms import Constant, Null, NullFactory, Term, Variable
+from repro.logic.atoms import Atom
+from repro.logic.dependencies import Dependency, Disjunct
+from repro.logic.terms import Null, NullFactory, Term, Variable
 from repro.relational.instance import Instance
-from repro.relational.query import evaluate, evaluate_delta, exists
 
 __all__ = ["ChaseConfig", "StandardChase", "chase"]
 
@@ -117,17 +122,32 @@ class StandardChase:
         source_relations: Iterable[str] = (),
         config: Optional[ChaseConfig] = None,
         branch_choice: Optional[Dict[int, int]] = None,
+        compiled: Optional[Sequence[CompiledDependency]] = None,
     ) -> None:
         """``branch_choice`` maps a dependency's *position* in
         ``dependencies`` to the disjunct index to enforce, turning a ded
         into a standard dependency: satisfaction still checks **all**
         disjuncts (so an already-satisfied ded never fires), but when the
         ded is violated only the chosen branch is enforced.  This is how
-        the greedy ded chase derives its standard scenarios."""
+        the greedy ded chase derives its standard scenarios.
+
+        ``compiled`` supplies pre-built :class:`CompiledDependency` plans
+        aligned with ``dependencies`` — the greedy ded search passes the
+        same plans to every derived scenario so nothing is re-planned
+        between selections."""
         self.dependencies = list(dependencies)
         self.source_relations = frozenset(source_relations)
         self.config = config or ChaseConfig()
         self.branch_choice = dict(branch_choice or {})
+        if compiled is not None and len(compiled) != len(self.dependencies):
+            raise ChaseError(
+                "compiled plans must align one-to-one with dependencies"
+            )
+        self.compiled = (
+            list(compiled)
+            if compiled is not None
+            else compile_dependencies(self.dependencies)
+        )
         for position, dependency in enumerate(self.dependencies):
             if dependency.is_ded() and position not in self.branch_choice:
                 raise ChaseError(
@@ -228,16 +248,6 @@ class StandardChase:
             # is unreliable: fall back to a full round.
             delta = None if rewrites_this_round else new_facts
 
-    def _premise_matches(
-        self,
-        dependency: Dependency,
-        working: Instance,
-        delta: Optional[Set[Atom]],
-    ) -> List[Dict[Variable, Term]]:
-        if delta is None:
-            return evaluate(dependency.premise, working)
-        return evaluate_delta(dependency.premise, working, delta)
-
     def _apply_dependency(
         self,
         index: int,
@@ -249,7 +259,8 @@ class StandardChase:
         fired_triggers: Set[Tuple[int, Tuple[Term, ...]]],
     ) -> int:
         """Process one dependency for one round; returns #null-rewrites."""
-        matches = self._premise_matches(dependency, working, delta)
+        compiled = self.compiled[index]
+        matches = compiled.premise_matches(working, delta)
         if not matches:
             return 0
         stats.premise_matches += len(matches)
@@ -278,10 +289,7 @@ class StandardChase:
                 if trigger in fired_triggers:
                     continue
                 fired_triggers.add(trigger)
-            elif any(
-                self._disjunct_satisfied(disjunct, resolved, working)
-                for disjunct in dependency.disjuncts
-            ):
+            elif compiled.satisfied(resolved, working):
                 continue
             self._enforce_disjunct(
                 dependency, chosen, resolved, working, factory, stats, null_map
@@ -291,27 +299,6 @@ class StandardChase:
             rewrites = working.apply_null_map(resolution)
             stats.null_rewrites += rewrites
         return rewrites
-
-    def _disjunct_satisfied(
-        self,
-        disjunct: Disjunct,
-        binding: Dict[Variable, Term],
-        working: Instance,
-    ) -> bool:
-        for equality in disjunct.equalities:
-            if _resolve(equality.left, binding) != _resolve(equality.right, binding):
-                return False
-        for comparison in disjunct.comparisons:
-            if not _ground_check(comparison, binding):
-                return False
-        if disjunct.atoms:
-            body = Conjunction(atoms=disjunct.atoms)
-            seed = {
-                v: t
-                for v, t in binding.items()
-            }
-            return exists(body, working, seed=seed)
-        return True
 
     def _enforce_disjunct(
         self,
@@ -354,29 +341,6 @@ class StandardChase:
                 if working.add(fact):
                     stats.facts_created += 1
             stats.tgd_fires += 1
-
-
-def _resolve(term: Term, binding: Dict[Variable, Term]) -> Term:
-    if isinstance(term, Variable):
-        value = binding.get(term)
-        if value is None:
-            raise ChaseError(f"unbound variable {term} during chase step")
-        return value
-    return term
-
-
-def _ground_check(comparison: Comparison, binding: Dict[Variable, Term]) -> bool:
-    from repro.errors import TypingError
-
-    ground = Comparison(
-        comparison.op,
-        _resolve(comparison.left, binding),
-        _resolve(comparison.right, binding),
-    )
-    try:
-        return ground.evaluate()
-    except TypingError:
-        return False
 
 
 def _binding_order(binding: Dict[Variable, Term]) -> Tuple:

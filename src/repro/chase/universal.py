@@ -16,9 +16,9 @@ homomorphically into every other solution.  This module provides
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
-from repro.logic.atoms import Atom, Conjunction
+from repro.logic.atoms import Conjunction
 from repro.logic.dependencies import Dependency
 from repro.logic.homomorphism import (
     apply_assignment,
@@ -27,7 +27,7 @@ from repro.logic.homomorphism import (
 )
 from repro.logic.terms import Null, Term, Variable
 from repro.relational.instance import Instance
-from repro.relational.query import evaluate, exists
+from repro.relational.query import evaluate_iter, exists
 
 __all__ = ["satisfies", "violations", "is_universal_for", "core_of"]
 
@@ -40,7 +40,9 @@ def violations(
     """Premise matches with no satisfied conclusion disjunct."""
     found: List[Tuple[str, Dict[Variable, Term]]] = []
     for dependency in dependencies:
-        for binding in evaluate(dependency.premise, instance):
+        # Lazy premise scan: with limit=1 (the `satisfies` fast path) the
+        # generator pipeline stops at the first unsatisfied match.
+        for binding in evaluate_iter(dependency.premise, instance):
             satisfied = False
             for disjunct in dependency.disjuncts:
                 equal = all(

@@ -28,11 +28,11 @@ contain deds" allows exactly this conservatism.)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.scenario import MappingScenario
 from repro.core.unfold import expand_conjunction
-from repro.logic.atoms import Conjunction, NegatedConjunction
+from repro.logic.atoms import Conjunction
 from repro.logic.terms import VariableFactory
 
 __all__ = ["DedPrediction", "ViewDiagnostic", "predict_deds", "analyze"]

@@ -10,7 +10,6 @@ step (i); the chase then runs over the returned instance.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.scenario import MappingScenario
 from repro.datalog.evaluate import materialize

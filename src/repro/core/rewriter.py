@@ -31,7 +31,7 @@ example, see DESIGN.md §3):
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.scenario import MappingScenario
@@ -46,7 +46,7 @@ from repro.logic.atoms import (
 )
 from repro.logic.dependencies import Dependency, DependencyKind, Disjunct
 from repro.logic.substitution import Substitution
-from repro.logic.terms import Constant, Term, Variable, VariableFactory
+from repro.logic.terms import Variable, VariableFactory
 
 __all__ = ["rewrite", "RewriteResult", "Provenance", "AUX_PREFIX"]
 

@@ -15,7 +15,7 @@ Section 3 of the paper:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
 from repro.datalog.program import ViewProgram
 from repro.errors import SchemaError, UnsafeDependencyError

@@ -33,7 +33,7 @@ from repro.logic.atoms import (
     NegatedConjunction,
 )
 from repro.logic.substitution import Substitution
-from repro.logic.terms import Term, Variable, VariableFactory
+from repro.logic.terms import Variable, VariableFactory
 
 __all__ = ["ExpansionBranch", "expand_conjunction", "expand_atom", "expand_negation"]
 

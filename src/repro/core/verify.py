@@ -18,7 +18,7 @@ soundness suite; it is also exported so downstream users can audit runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.compose import extend_source
 from repro.core.scenario import MappingScenario
@@ -27,7 +27,7 @@ from repro.logic.atoms import Conjunction
 from repro.logic.dependencies import Dependency
 from repro.logic.terms import Term, Variable
 from repro.relational.instance import Instance
-from repro.relational.query import evaluate, exists
+from repro.relational.query import evaluate_iter, exists
 
 __all__ = ["Violation", "VerificationReport", "verify_solution", "semantic_target"]
 
@@ -89,9 +89,10 @@ def _check_tgd(
     violations: List[Violation],
     max_violations: int,
 ) -> int:
-    matches = evaluate(dependency.premise, source_side)
+    matched = 0
     frontier = dependency.frontier()
-    for binding in matches:
+    for binding in evaluate_iter(dependency.premise, source_side):
+        matched += 1
         satisfied = False
         for disjunct in dependency.disjuncts:
             seed = {v: t for v, t in binding.items() if v in frontier}
@@ -113,7 +114,7 @@ def _check_tgd(
                     "no conclusion disjunct satisfied",
                 )
             )
-    return len(matches)
+    return matched
 
 
 def _resolve(term, binding):
@@ -128,8 +129,9 @@ def _check_constraint(
     violations: List[Violation],
     max_violations: int,
 ) -> int:
-    matches = evaluate(dependency.premise, target_side)
-    for binding in matches:
+    matched = 0
+    for binding in evaluate_iter(dependency.premise, target_side):
+        matched += 1
         if not dependency.disjuncts:
             if len(violations) < max_violations:
                 violations.append(
@@ -160,7 +162,7 @@ def _check_constraint(
                     "constraint conclusion not satisfied",
                 )
             )
-    return len(matches)
+    return matched
 
 
 def verify_solution(

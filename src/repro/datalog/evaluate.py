@@ -20,7 +20,7 @@ from repro.datalog.program import Rule, ViewProgram
 from repro.datalog.stratify import evaluation_order
 from repro.errors import DatalogError
 from repro.logic.atoms import Atom
-from repro.logic.terms import Constant, Null, Term, Variable
+from repro.logic.terms import Term, Variable
 from repro.relational.instance import Instance
 from repro.relational.query import evaluate as evaluate_body
 

@@ -11,7 +11,7 @@ mean union; bodies may negate base *and* derived predicates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
 
 from repro.errors import DatalogError, UnknownPredicateError, UnsafeDependencyError
 from repro.logic.atoms import Atom, Conjunction

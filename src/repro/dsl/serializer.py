@@ -6,9 +6,9 @@ from typing import List, Optional
 
 from repro.core.scenario import MappingScenario
 from repro.datalog.program import ViewProgram
-from repro.logic.atoms import Atom, Comparison, Conjunction, NegatedConjunction
+from repro.logic.atoms import Atom, Conjunction
 from repro.logic.dependencies import Dependency
-from repro.logic.terms import Constant, Null, Term, Variable
+from repro.logic.terms import Null, Term, Variable
 from repro.relational.instance import Instance
 from repro.relational.schema import Schema
 from repro.relational.types import DataType

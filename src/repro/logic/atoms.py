@@ -21,7 +21,7 @@ strictly harder than conjunctive views.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Iterator, Sequence, Tuple
 
 from repro.errors import LogicError, TypingError

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+from typing import FrozenSet, Sequence, Tuple
 
 from repro.errors import UnsafeDependencyError
 from repro.logic.atoms import Atom, Comparison, Conjunction, Equality

@@ -7,8 +7,12 @@ yard-stick of data exchange: *universal* solutions are exactly the
 solutions that map homomorphically into every other solution, and the
 restricted chase checks homomorphism extension before firing a tgd.
 
-The search is plain backtracking over relation-indexed facts, ordering
-the pending atoms most-constrained-first.  That is adequate for the
+The search is backtracking over indexed facts, ordering the pending
+atoms most-constrained-first.  Candidate facts are fetched through a
+two-level index: by relation, and — for pattern atoms with *rigid*
+positions (constants or frozen terms, which must match exactly) — by a
+lazily-built hash index keyed on those positions, so rigid atoms probe a
+bucket instead of scanning the whole relation.  That is adequate for the
 dependency-sized and verification-sized problems the library solves (the
 bulk data path goes through :mod:`repro.relational.query` instead).
 """
@@ -16,10 +20,10 @@ bulk data path goes through :mod:`repro.relational.query` instead).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Union
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.logic.atoms import Atom
-from repro.logic.terms import Constant, Null, Term, Variable
+from repro.logic.terms import Null, Term, Variable
 
 __all__ = [
     "Assignment",
@@ -46,11 +50,39 @@ def apply_assignment(assignment: Mapping[MappableTerm, Term], atom: Atom) -> Ato
     return Atom(atom.relation, tuple(new_terms))
 
 
-def _index_by_relation(atoms: Iterable[Atom]) -> Dict[str, List[Atom]]:
-    index: Dict[str, List[Atom]] = defaultdict(list)
-    for atom in atoms:
-        index[atom.relation].append(atom)
-    return index
+class _TargetIndex:
+    """Relation- and rigidity-indexed view of the target fact set.
+
+    ``candidates`` returns the facts a pattern atom can possibly map onto:
+    all facts of its relation, narrowed — when the atom has rigid
+    positions — to the hash bucket matching the rigid values.  Keyed
+    indexes are built lazily per (relation, positions) shape and preserve
+    relation-list order, so the search visits surviving candidates in the
+    same order a full scan would.
+    """
+
+    def __init__(self, atoms: Iterable[Atom]) -> None:
+        self._by_relation: Dict[str, List[Atom]] = defaultdict(list)
+        for atom in atoms:
+            self._by_relation[atom.relation].append(atom)
+        self._keyed: Dict[
+            tuple, Dict[tuple, List[Atom]]
+        ] = {}
+
+    def candidates(
+        self, relation: str, positions: tuple, key: tuple
+    ) -> Sequence[Atom]:
+        if not positions:
+            return self._by_relation.get(relation, ())
+        index_key = (relation, positions)
+        keyed = self._keyed.get(index_key)
+        if keyed is None:
+            keyed = defaultdict(list)
+            for fact in self._by_relation.get(relation, ()):
+                if len(fact.terms) > positions[-1]:
+                    keyed[tuple(fact.terms[i] for i in positions)].append(fact)
+            self._keyed[index_key] = keyed
+        return keyed.get(key, ())
 
 
 def _mappable(term: Term, frozen: FrozenSet[Term]) -> bool:
@@ -95,9 +127,23 @@ def _try_match(
     return merged
 
 
+def _probe_spec(atom: Atom, frozen: FrozenSet[Term]) -> Tuple[tuple, tuple]:
+    """The rigid positions of a pattern atom and their (static) key.
+
+    Rigid terms — constants and frozen variables/nulls — must map to
+    themselves, so the key they probe with never depends on the current
+    assignment and can be computed once per search.
+    """
+    positions = tuple(
+        i for i, t in enumerate(atom.terms) if not _mappable(t, frozen)
+    )
+    key = tuple(atom.terms[i] for i in positions)
+    return positions, key
+
+
 def _search(
-    pending: List[Atom],
-    index: Dict[str, List[Atom]],
+    pending: List[Tuple[Atom, tuple, tuple]],
+    index: _TargetIndex,
     assignment: Assignment,
     frozen: FrozenSet[Term],
     collect: Optional[List[Assignment]],
@@ -108,8 +154,8 @@ def _search(
             collect.append(dict(assignment))
             return None if limit is None or len(collect) < limit else assignment
         return assignment
-    atom, rest = pending[0], pending[1:]
-    for fact in index.get(atom.relation, ()):
+    (atom, positions, key), rest = pending[0], pending[1:]
+    for fact in index.candidates(atom.relation, positions, key):
         extended = _try_match(atom, fact, assignment, frozen)
         if extended is None:
             continue
@@ -134,8 +180,11 @@ def find_homomorphism(
     """
     source_atoms = list(source)
     frozen_set = frozenset(frozen)
-    index = _index_by_relation(target)
-    ordered = _order_atoms(source_atoms, frozen_set)
+    index = _TargetIndex(target)
+    ordered = [
+        (atom, *_probe_spec(atom, frozen_set))
+        for atom in _order_atoms(source_atoms, frozen_set)
+    ]
     return _search(ordered, index, dict(seed or {}), frozen_set, None, None)
 
 
@@ -158,8 +207,11 @@ def all_homomorphisms(
     """All homomorphisms from ``source`` into ``target`` (up to ``limit``)."""
     source_atoms = list(source)
     frozen_set = frozenset(frozen)
-    index = _index_by_relation(target)
-    ordered = _order_atoms(source_atoms, frozen_set)
+    index = _TargetIndex(target)
+    ordered = [
+        (atom, *_probe_spec(atom, frozen_set))
+        for atom in _order_atoms(source_atoms, frozen_set)
+    ]
     collected: List[Assignment] = []
     _search(ordered, index, {}, frozen_set, collected, limit)
     return collected

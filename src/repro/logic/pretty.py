@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
-from repro.logic.atoms import Comparison, Conjunction, NegatedConjunction
+from repro.logic.atoms import Conjunction
 from repro.logic.dependencies import Dependency, DependencyKind
 
 __all__ = ["render_conjunction", "render_dependency", "render_dependencies"]

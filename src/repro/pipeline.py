@@ -14,7 +14,7 @@ from typing import Optional
 
 from repro.chase.ded import GreedyDedChase
 from repro.chase.engine import ChaseConfig, StandardChase
-from repro.chase.result import ChaseResult, ChaseStatus
+from repro.chase.result import ChaseResult
 from repro.core.compose import extend_source
 from repro.core.rewriter import AUX_PREFIX, RewriteResult, rewrite
 from repro.core.scenario import MappingScenario

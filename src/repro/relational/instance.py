@@ -30,7 +30,7 @@ from typing import (
 
 from repro.errors import SchemaError
 from repro.logic.atoms import Atom
-from repro.logic.terms import Constant, Null, Term, Variable
+from repro.logic.terms import Constant, Null, Term
 from repro.relational.schema import Schema
 
 __all__ = ["Instance"]
@@ -52,6 +52,11 @@ class Instance:
         # Generation at which each fact was inserted (for delta evaluation).
         self._generation: Dict[Atom, int] = {}
         self._current_generation = 0
+        # Per-generation insertion lists: generation -> facts recorded at
+        # that generation.  Entries are never removed eagerly (removal is
+        # rare); readers filter through ``_generation``, which is the
+        # source of truth for liveness and current generation of a fact.
+        self._insertion_log: Dict[int, List[Atom]] = defaultdict(list)
         self._indexes: Dict[_IndexKey, Dict[Tuple[Term, ...], List[Atom]]] = {}
         self._version = 0
         self._index_versions: Dict[_IndexKey, int] = {}
@@ -78,6 +83,7 @@ class Instance:
             return False
         bucket.add(fact)
         self._generation[fact] = self._current_generation
+        self._insertion_log[self._current_generation].append(fact)
         self._version += 1
         self._relation_versions[fact.relation] += 1
         # Maintain live indexes incrementally: a full rebuild per write
@@ -141,20 +147,31 @@ class Instance:
     def facts(self, relation: str) -> FrozenSet[Atom]:
         return frozenset(self._facts.get(relation, ()))
 
+    def _log_entries(self, generation: int) -> Iterable[Atom]:
+        """Facts recorded at exactly ``generation`` (may contain stale or
+        duplicate entries; :meth:`facts_since` filters).  Kept as a hook so
+        tests can instrument how much work a delta scan performs."""
+        return self._insertion_log.get(generation, ())
+
     def facts_since(self, generation: int, relation: Optional[str] = None) -> List[Atom]:
-        """Facts inserted at or after ``generation``."""
-        if relation is not None:
-            return [
-                f
-                for f in self._facts.get(relation, ())
-                if self._generation.get(f, 0) >= generation
-            ]
-        return [
-            f
-            for bucket in self._facts.values()
-            for f in bucket
-            if self._generation.get(f, 0) >= generation
-        ]
+        """Facts inserted at or after ``generation``.
+
+        O(|delta|): reads the per-generation insertion lists instead of
+        scanning the whole instance, so chase rounds pay for what the
+        previous round created, not for everything ever inserted.
+        """
+        current_generation = self._generation.get
+        out: List[Atom] = []
+        seen: Set[Atom] = set()
+        for gen in range(max(generation, 0), self._current_generation + 1):
+            for fact in self._log_entries(gen):
+                if current_generation(fact) != gen or fact in seen:
+                    continue
+                if relation is not None and fact.relation != relation:
+                    continue
+                seen.add(fact)
+                out.append(fact)
+        return out
 
     def generation_of(self, fact: Atom) -> int:
         return self._generation.get(fact, 0)
@@ -221,6 +238,26 @@ class Instance:
             live.append(key)
         return built
 
+    def key_count(self, relation: str, positions: Sequence[int]) -> int:
+        """Distinct value-tuples at ``positions`` — a selectivity estimate.
+
+        ``size(relation) / key_count`` approximates the bucket a probe on
+        those positions will scan; the query planner uses it to prefer
+        near-key probes over low-cardinality ones.
+
+        Reuses a cached index when one is current, but never *builds*
+        one: planning scores many candidate position sets that will never
+        be probed, and a full index per candidate would be registered as
+        live and then maintained on every future insert.
+        """
+        key: _IndexKey = (relation, tuple(positions))
+        if self._index_versions.get(key) == self._relation_versions[relation]:
+            return len(self._indexes[key])
+        seen: Set[Tuple[Term, ...]] = set()
+        for fact in self._facts.get(relation, ()):
+            seen.add(tuple(fact.terms[i] for i in key[1]))
+        return len(seen)
+
     # -- null handling -------------------------------------------------------------
 
     def apply_null_map(self, mapping: Mapping[Null, Term]) -> int:
@@ -250,12 +287,14 @@ class Instance:
                 if new not in bucket:
                     bucket.add(new)
                     self._generation[new] = generation
+                    self._insertion_log[generation].append(new)
                 else:
                     # Collapsed onto an existing fact; keep the earliest
                     # generation so delta evaluation never misses it.
-                    self._generation[new] = min(
-                        self._generation.get(new, generation), generation
-                    )
+                    kept = min(self._generation.get(new, generation), generation)
+                    if kept != self._generation.get(new):
+                        self._insertion_log[kept].append(new)
+                    self._generation[new] = kept
                 rewritten += 1
             if replacements:
                 self._version += 1
@@ -271,6 +310,8 @@ class Instance:
         for relation, bucket in self._facts.items():
             clone._facts[relation] = set(bucket)
         clone._generation = dict(self._generation)
+        for generation, inserted in self._insertion_log.items():
+            clone._insertion_log[generation] = list(inserted)
         clone._current_generation = self._current_generation
         clone._version = self._version
         return clone

@@ -3,13 +3,26 @@
 This is the workhorse evaluator used by the Datalog engine (to
 materialize views), by the chase engine (to find premise matches), and by
 the verifier.  It evaluates a :class:`~repro.logic.atoms.Conjunction`
-against an :class:`~repro.relational.instance.Instance`:
+against an :class:`~repro.relational.instance.Instance`.
 
-* positive atoms are joined left-to-right after a greedy
-  most-bound-first, smallest-relation-first planning pass, each join step
-  probing a hash index on the statically-known bound positions;
+Evaluation is *compiled* and *lazy*:
+
+* :func:`compile_query` turns a conjunction (plus the statically-known
+  set of seed-bound variables) into a :class:`CompiledQuery` — a join
+  plan (greedy most-bound-first, smallest-relation-first), the hash-index
+  key positions of every step, the bind/check schedule for fresh
+  variables, and the point at which each comparison becomes checkable.
+  Compiled queries are cached, so repeated evaluation of the same body
+  (the chase probes the same conclusions thousands of times per run)
+  never re-plans.
+* :meth:`CompiledQuery.bindings` runs the plan as a chain of generators:
+  each join step lazily extends the bindings flowing out of the previous
+  step by probing a hash index on the statically-known bound positions.
+  Nothing is materialized, so ``evaluate(limit=N)`` and :func:`exists`
+  genuinely stop after the first ``N`` results — a satisfaction probe on
+  a 10k-fact relation does O(1) work, not O(n).
 * comparison atoms are applied as soon as their variables are bound;
-* negated conjunctions (safe, stratified after unfolding) are evaluated
+  negated conjunctions (safe, stratified after unfolding) are evaluated
   last as *not-exists* sub-queries, recursing through nested negation.
 
 Bindings are plain ``dict`` objects for speed; the public helpers convert
@@ -19,19 +32,42 @@ The module also implements the *delta* evaluation used by chase rounds:
 matches are restricted to those using at least one fact from a given
 recently-inserted set, which is what makes the chase incremental instead
 of quadratic in the number of rounds.
+
+A reference implementation (the original materialized evaluator) is kept
+for differential testing: :func:`reference_evaluator` switches every
+entry point to it, which the corpus-equivalence property tests use to
+prove the compiled pipeline computes the same results.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from itertools import islice
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.errors import TypingError, UnsafeDependencyError
-from repro.logic.atoms import Atom, Comparison, Conjunction, NegatedConjunction
+from repro.logic.atoms import Atom, Comparison, Conjunction
 from repro.logic.substitution import Substitution
-from repro.logic.terms import Constant, Null, Term, Variable
+from repro.logic.terms import Term, Variable
 from repro.relational.instance import Instance
 
-__all__ = ["evaluate", "evaluate_delta", "exists", "bindings_to_substitutions"]
+__all__ = [
+    "CompiledQuery",
+    "compile_query",
+    "evaluate",
+    "evaluate_iter",
+    "evaluate_delta",
+    "exists",
+    "bindings_to_substitutions",
+    "reference_evaluator",
+]
 
 Binding = Dict[Variable, Term]
 
@@ -41,35 +77,6 @@ def _resolve(term: Term, binding: Binding) -> Optional[Term]:
     if isinstance(term, Variable):
         return binding.get(term)
     return term
-
-
-def _plan(atoms: Sequence[Atom], instance: Instance, bound: Set[Variable]) -> List[int]:
-    """Greedy join order: most bound positions first, then smaller relation.
-
-    Returns atom indices in evaluation order.  ``bound`` is mutated to
-    reflect the variables bound after each chosen step.
-    """
-    remaining = list(range(len(atoms)))
-    order: List[int] = []
-    bound_now = set(bound)
-    while remaining:
-        def score(i: int) -> Tuple[int, int]:
-            atom = atoms[i]
-            bound_positions = sum(
-                1
-                for t in atom.terms
-                if not isinstance(t, Variable) or t in bound_now
-            )
-            # Prefer more bound positions; break ties on smaller relations.
-            return (-bound_positions, instance.size(atom.relation))
-
-        best = min(remaining, key=score)
-        remaining.remove(best)
-        order.append(best)
-        for variable in atoms[best].variables():
-            bound_now.add(variable)
-    bound |= bound_now
-    return order
 
 
 def _comparison_ready(comparison: Comparison, bound: Set[Variable]) -> bool:
@@ -92,7 +99,434 @@ def _check_comparison(comparison: Comparison, binding: Binding) -> bool:
         return False
 
 
-def _join_step(
+# ---------------------------------------------------------------------------
+# Compiled queries
+# ---------------------------------------------------------------------------
+
+
+class _Step:
+    """One compiled join step: probe a hash index, extend the binding.
+
+    ``key_terms`` are the terms at the statically-bound positions (the
+    hash-index key); ``binds`` are (position, variable) pairs for the
+    first occurrence of each fresh variable; ``checks`` are
+    (position, first_position) pairs for repeated occurrences of a fresh
+    variable within the same atom, which need an equality check instead
+    of a bind; ``comparisons`` become checkable once this step's
+    variables are bound.
+    """
+
+    __slots__ = ("relation", "positions", "key_terms", "binds", "checks", "comparisons")
+
+    def __init__(
+        self,
+        relation: str,
+        positions: Tuple[int, ...],
+        key_terms: Tuple[Term, ...],
+        binds: Tuple[Tuple[int, Variable], ...],
+        checks: Tuple[Tuple[int, int], ...],
+        comparisons: Tuple[Comparison, ...],
+    ) -> None:
+        self.relation = relation
+        self.positions = positions
+        self.key_terms = key_terms
+        self.binds = binds
+        self.checks = checks
+        self.comparisons = comparisons
+
+
+class CompiledQuery:
+    """A conjunction compiled against a set of statically-bound variables.
+
+    The compile captures everything that does not depend on the data:
+    the join order, each step's index-key positions, the fresh-variable
+    bind/check schedule, and the comparison schedule.  Evaluating is then
+    a chain of index probes with no per-call planning.
+
+    Plans are data-independent for correctness; relation sizes are only a
+    tie-break heuristic captured at compile time, so one compiled query
+    is safely reusable across instances and chase rounds.
+    """
+
+    __slots__ = (
+        "body",
+        "bound",
+        "relations",
+        "steps",
+        "seed_comparisons",
+        "unscheduled",
+        "negations",
+        "_fresh",
+        "_single_probe",
+    )
+
+    def __init__(
+        self,
+        body: Conjunction,
+        bound: Iterable[Variable] = (),
+        instance: Optional[Instance] = None,
+        first_atom: Optional[int] = None,
+    ) -> None:
+        self.body = body
+        self.bound = frozenset(bound)
+        self.relations = frozenset(a.relation for a in body.atoms)
+
+        atoms = body.atoms
+        bound_now: Set[Variable] = set(self.bound)
+        pending = list(body.comparisons)
+        self.seed_comparisons = tuple(
+            c for c in pending if _comparison_ready(c, bound_now)
+        )
+        pending = [c for c in pending if c not in self.seed_comparisons]
+
+        remaining = list(range(len(atoms)))
+        order: List[int] = []
+        if first_atom is not None:
+            remaining.remove(first_atom)
+            order.append(first_atom)
+        while remaining:
+            def score(i: int) -> Tuple[float, int]:
+                atom = atoms[i]
+                positions = tuple(
+                    p
+                    for p, t in enumerate(atom.terms)
+                    if not isinstance(t, Variable) or t in bound_now
+                )
+                if instance is None:
+                    return (0.0, -len(positions))
+                size = instance.size(atom.relation)
+                if positions:
+                    # Estimated bucket size of a probe on these positions:
+                    # relation size over distinct keys.  A near-key probe
+                    # (T_Product on pid: ~1) beats a low-cardinality one
+                    # (T_Store on (store, location): ~n/stores) even
+                    # though the latter binds more positions.
+                    keys = instance.key_count(atom.relation, positions)
+                    estimate = size / keys if keys else 0.0
+                else:
+                    estimate = float(size)
+                return (estimate, -len(positions))
+
+            # Greedy: the order is scored incrementally, so variables bound
+            # by earlier picks count as bound for later ones.  (Scoring
+            # must happen before the pick mutates ``bound_now``, hence the
+            # two-phase loop.)
+            best = min(remaining, key=score)
+            remaining.remove(best)
+            order.append(best)
+            for variable in atoms[best].variables():
+                bound_now.add(variable)
+
+        # Second pass: with the order fixed, lay out each step's statics.
+        bound_now = set(self.bound)
+        steps: List[_Step] = []
+        for atom_index in order:
+            atom = atoms[atom_index]
+            positions: List[int] = []
+            key_terms: List[Term] = []
+            binds: List[Tuple[int, Variable]] = []
+            checks: List[Tuple[int, int]] = []
+            first_position: Dict[Variable, int] = {}
+            for i, t in enumerate(atom.terms):
+                if not isinstance(t, Variable) or t in bound_now:
+                    positions.append(i)
+                    key_terms.append(t)
+                elif t in first_position:
+                    checks.append((i, first_position[t]))
+                else:
+                    first_position[t] = i
+                    binds.append((i, t))
+            bound_now |= first_position.keys()
+            ready = tuple(c for c in pending if _comparison_ready(c, bound_now))
+            pending = [c for c in pending if c not in ready]
+            steps.append(
+                _Step(
+                    atom.relation,
+                    tuple(positions),
+                    tuple(key_terms),
+                    tuple(binds),
+                    tuple(checks),
+                    ready,
+                )
+            )
+        self.steps = tuple(steps)
+        self.unscheduled = tuple(pending)
+        self.negations = body.negations
+        # Variables the plan treats as fresh (bound by a join step).  A
+        # runtime seed may not bind any of these: the plan would silently
+        # overwrite the seed value instead of equality-checking it.
+        self._fresh = frozenset(v for step in steps for _p, v in step.binds)
+        # Fast-probe eligibility: a single atom whose fresh variables are
+        # all distinct, no negation and no post-seed comparisons — then
+        # existence is exactly hash-index key membership (the probe side
+        # of a hash anti-join), independent of relation size.
+        self._single_probe = (
+            len(self.steps) == 1
+            and not self.negations
+            and not self.unscheduled
+            and not self.steps[0].checks
+            and not self.steps[0].comparisons
+        )
+
+    # -- evaluation --------------------------------------------------------
+
+    def bindings(
+        self,
+        instance: Instance,
+        seed: Optional[Binding] = None,
+        delta: Optional[Set[Atom]] = None,
+    ) -> Iterator[Binding]:
+        """Lazily yield every binding of the body's variables.
+
+        ``delta`` restricts the *first* join step to the given facts (the
+        anchor of a delta-evaluation plan).  Consumers that mutate the
+        instance while iterating must materialize first; the chase does.
+        """
+        binding: Binding = dict(seed) if seed else {}
+        if binding and not self._fresh.isdisjoint(binding):
+            raise UnsafeDependencyError(
+                f"seed binds {sorted(v.name for v in self._fresh & binding.keys())} "
+                f"which this plan was compiled to treat as fresh; recompile "
+                f"with the seed's variables in `bound`"
+            )
+        for comparison in self.seed_comparisons:
+            if not _check_comparison(comparison, binding):
+                return iter(())
+        stream: Iterator[Binding] = iter((binding,))
+        for step_index, step in enumerate(self.steps):
+            stream = self._join(
+                stream, step, instance, delta if step_index == 0 else None
+            )
+        return self._finalize(stream, instance)
+
+    @staticmethod
+    def _join(
+        stream: Iterator[Binding],
+        step: _Step,
+        instance: Instance,
+        delta: Optional[Set[Atom]],
+    ) -> Iterator[Binding]:
+        index = instance.index(step.relation, step.positions)
+        lookup = index.get
+        key_terms = step.key_terms
+        binds = step.binds
+        checks = step.checks
+        comparisons = step.comparisons
+        for binding in stream:
+            get = binding.get
+            key = tuple(
+                get(t) if isinstance(t, Variable) else t for t in key_terms
+            )
+            for fact in lookup(key, ()):
+                if delta is not None and fact not in delta:
+                    continue
+                terms = fact.terms
+                ok = True
+                for position, bound_at in checks:
+                    if terms[position] != terms[bound_at]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                extended = dict(binding)
+                for position, variable in binds:
+                    extended[variable] = terms[position]
+                for comparison in comparisons:
+                    if not _check_comparison(comparison, extended):
+                        ok = False
+                        break
+                if ok:
+                    yield extended
+
+    def _finalize(
+        self, stream: Iterator[Binding], instance: Instance
+    ) -> Iterator[Binding]:
+        for binding in stream:
+            if self.unscheduled:
+                # Safety should prevent this; treat unbound comparisons as
+                # failures (raised only when a binding actually reaches
+                # them, matching the materialized evaluator).
+                raise UnsafeDependencyError(
+                    f"comparisons {list(self.unscheduled)} have unbound "
+                    f"variables in {self.body}"
+                )
+            if all(
+                not exists(negation.inner, instance, seed=binding)
+                for negation in self.negations
+            ):
+                yield binding
+
+    def exists(self, instance: Instance, seed: Optional[Binding] = None) -> bool:
+        """Whether at least one binding exists — stops at the first match."""
+        if self._single_probe:
+            binding = seed or {}
+            if binding and not self._fresh.isdisjoint(binding):
+                for _ in self.bindings(instance, seed):  # raises the mismatch
+                    return True
+            for comparison in self.seed_comparisons:
+                if not _check_comparison(comparison, binding):
+                    return False
+            step = self.steps[0]
+            get = binding.get
+            key = tuple(
+                get(t) if isinstance(t, Variable) else t for t in step.key_terms
+            )
+            return key in instance.index(step.relation, step.positions)
+        for _ in self.bindings(instance, seed):
+            return True
+        return False
+
+
+_COMPILE_CACHE: Dict[Tuple[Conjunction, frozenset, Optional[int]], CompiledQuery] = {}
+_COMPILE_CACHE_LIMIT = 4096
+
+
+def compile_query(
+    body: Conjunction,
+    bound: Iterable[Variable] = (),
+    instance: Optional[Instance] = None,
+    first_atom: Optional[int] = None,
+) -> CompiledQuery:
+    """Compile (or fetch the cached compile of) a conjunction.
+
+    The cache key is the body, the set of seed-bound variables and the
+    optional anchor atom; the instance only supplies selectivity hints
+    for join ordering, so a cached plan is reused across instances.
+    (The chase additionally keeps per-dependency compiled objects so its
+    plans can be recompiled as relations grow.)
+    """
+    key = (body, frozenset(bound), first_atom)
+    compiled = _COMPILE_CACHE.get(key)
+    if compiled is None:
+        if len(_COMPILE_CACHE) >= _COMPILE_CACHE_LIMIT:
+            _COMPILE_CACHE.clear()
+        compiled = CompiledQuery(body, bound, instance, first_atom)
+        _COMPILE_CACHE[key] = compiled
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+_REFERENCE_MODE = False
+
+
+class reference_evaluator:
+    """Context manager switching every entry point to the materialized
+    reference evaluator (differential-testing support)."""
+
+    def __enter__(self) -> None:
+        global _REFERENCE_MODE
+        self._previous = _REFERENCE_MODE
+        _REFERENCE_MODE = True
+
+    def __exit__(self, *_exc) -> None:
+        global _REFERENCE_MODE
+        _REFERENCE_MODE = self._previous
+
+
+def reference_mode_active() -> bool:
+    return _REFERENCE_MODE
+
+
+def evaluate_iter(
+    body: Conjunction,
+    instance: Instance,
+    seed: Optional[Binding] = None,
+) -> Iterator[Binding]:
+    """Lazily iterate the bindings of ``body`` satisfying it in ``instance``.
+
+    The generator does work only as it is consumed, so callers that stop
+    early (violation scans, existence checks) never pay for the full
+    join.  Do not mutate ``instance`` while consuming.
+    """
+    if _REFERENCE_MODE:
+        return iter(_evaluate_reference(body, instance, seed=seed))
+    compiled = compile_query(body, seed or (), instance)
+    return compiled.bindings(instance, seed)
+
+
+def evaluate(
+    body: Conjunction,
+    instance: Instance,
+    seed: Optional[Binding] = None,
+    limit: Optional[int] = None,
+) -> List[Binding]:
+    """All bindings of ``body``'s variables satisfying it in ``instance``.
+
+    ``seed`` pre-binds variables (used for correlated sub-queries and for
+    checking specific premise matches); ``limit`` stops the underlying
+    generator pipeline as soon as that many bindings were produced.
+    """
+    if _REFERENCE_MODE:
+        return _evaluate_reference(body, instance, seed=seed, limit=limit)
+    stream = evaluate_iter(body, instance, seed=seed)
+    if limit is not None:
+        return list(islice(stream, limit))
+    return list(stream)
+
+
+def evaluate_delta(
+    body: Conjunction,
+    instance: Instance,
+    delta: Set[Atom],
+    seed: Optional[Binding] = None,
+) -> List[Binding]:
+    """Bindings of ``body`` that use at least one fact from ``delta``.
+
+    Implements the classical delta-join: for each positive atom position
+    ``i``, join with atom ``i`` restricted to ``delta`` and all other
+    atoms unrestricted, then deduplicate.  Negations are evaluated against
+    the full instance (their non-monotonicity is the rewriter's concern,
+    not the evaluator's).
+    """
+    if _REFERENCE_MODE:
+        return _evaluate_delta_reference(body, instance, delta, seed=seed)
+    if not body.atoms:
+        return evaluate(body, instance, seed=seed)
+    relations_in_delta = {f.relation for f in delta}
+    out: List[Binding] = []
+    seen: Set[Tuple[Tuple[Variable, Term], ...]] = set()
+    bound = frozenset(seed or ())
+    for anchor_index, anchor in enumerate(body.atoms):
+        if anchor.relation not in relations_in_delta:
+            continue
+        compiled = compile_query(body, bound, instance, first_atom=anchor_index)
+        for binding in compiled.bindings(instance, seed, delta=delta):
+            key = tuple(sorted(binding.items()))
+            if key not in seen:
+                seen.add(key)
+                out.append(binding)
+    return out
+
+
+def exists(
+    body: Conjunction, instance: Instance, seed: Optional[Binding] = None
+) -> bool:
+    """Whether ``body`` has at least one match in ``instance``.
+
+    Short-circuits at the first match: the compiled pipeline stops after
+    one index probe for single-atom bodies, and after the first complete
+    join row otherwise.
+    """
+    if _REFERENCE_MODE:
+        return bool(_evaluate_reference(body, instance, seed=seed, limit=1))
+    compiled = compile_query(body, seed or (), instance)
+    return compiled.exists(instance, seed)
+
+
+def bindings_to_substitutions(bindings: Iterable[Binding]) -> List[Substitution]:
+    """Convert raw binding dicts to :class:`Substitution` objects."""
+    return [Substitution(b) for b in bindings]
+
+
+# ---------------------------------------------------------------------------
+# Reference implementation (materialized; kept for differential testing)
+# ---------------------------------------------------------------------------
+
+
+def _join_step_reference(
     solutions: List[Binding],
     atom: Atom,
     instance: Instance,
@@ -110,8 +544,6 @@ def _join_step(
         for i, t in enumerate(atom.terms)
         if isinstance(t, Variable) and t not in bound_before
     ]
-    # Repeated fresh variables within the atom need an equality check.
-    seen_positions: Dict[Variable, int] = {}
     index = instance.index(atom.relation, bound_positions)
     out: List[Binding] = []
     for binding in solutions:
@@ -123,6 +555,8 @@ def _join_step(
                 continue
             extended = dict(binding)
             ok = True
+            # Repeated fresh variables within the atom need an equality
+            # check, which the dict-get below performs.
             for position, variable in unbound:
                 value = fact.terms[position]
                 current = extended.get(variable)
@@ -136,45 +570,17 @@ def _join_step(
     return out
 
 
-def _apply_negations(
-    solutions: List[Binding],
-    negations: Sequence[NegatedConjunction],
-    instance: Instance,
-) -> List[Binding]:
-    if not negations:
-        return solutions
-    out: List[Binding] = []
-    for binding in solutions:
-        if all(
-            not exists(negation.inner, instance, seed=binding)
-            for negation in negations
-        ):
-            out.append(binding)
-    return out
-
-
-def evaluate(
+def _evaluate_reference(
     body: Conjunction,
     instance: Instance,
     seed: Optional[Binding] = None,
     limit: Optional[int] = None,
 ) -> List[Binding]:
-    """All bindings of ``body``'s variables satisfying it in ``instance``.
-
-    ``seed`` pre-binds variables (used for correlated sub-queries and for
-    checking specific premise matches); ``limit`` stops early once that
-    many bindings are found (before negation filtering the limit is not
-    applied, so it is only an optimization for positive bodies).
-    """
     seed_binding: Binding = dict(seed or {})
-    bound: Set[Variable] = set(seed_binding)
-    order = _plan(body.atoms, instance, bound)
-
-    solutions: List[Binding] = [seed_binding]
     bound_now: Set[Variable] = set(seed_binding)
     pending_comparisons = list(body.comparisons)
 
-    # Comparisons whose variables are already bound by the seed apply first.
+    solutions: List[Binding] = [seed_binding]
     applied: List[Comparison] = []
     for comparison in pending_comparisons:
         if _comparison_ready(comparison, bound_now):
@@ -182,9 +588,22 @@ def evaluate(
             applied.append(comparison)
     pending_comparisons = [c for c in pending_comparisons if c not in applied]
 
-    for atom_index in order:
-        atom = body.atoms[atom_index]
-        solutions = _join_step(solutions, atom, instance, bound_now)
+    atoms = body.atoms
+    remaining = list(range(len(atoms)))
+    while remaining:
+        def score(i: int) -> Tuple[int, int]:
+            atom = atoms[i]
+            bound_positions = sum(
+                1
+                for t in atom.terms
+                if not isinstance(t, Variable) or t in bound_now
+            )
+            return (-bound_positions, instance.size(atom.relation))
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        atom = atoms[best]
+        solutions = _join_step_reference(solutions, atom, instance, bound_now)
         for variable in atom.variables():
             bound_now.add(variable)
         if not solutions:
@@ -193,38 +612,32 @@ def evaluate(
         for comparison in ready:
             solutions = [b for b in solutions if _check_comparison(comparison, b)]
             pending_comparisons.remove(comparison)
-        if limit is not None and not body.negations and not pending_comparisons:
-            if len(solutions) >= limit and atom_index == order[-1]:
-                solutions = solutions[:limit]
 
     if pending_comparisons:
-        # Safety should prevent this; treat unbound comparisons as failures.
         raise UnsafeDependencyError(
             f"comparisons {pending_comparisons} have unbound variables in {body}"
         )
 
-    solutions = _apply_negations(solutions, body.negations, instance)
+    out: List[Binding] = []
+    for binding in solutions:
+        if all(
+            not bool(_evaluate_reference(negation.inner, instance, seed=binding, limit=1))
+            for negation in body.negations
+        ):
+            out.append(binding)
     if limit is not None:
-        solutions = solutions[:limit]
-    return solutions
+        out = out[:limit]
+    return out
 
 
-def evaluate_delta(
+def _evaluate_delta_reference(
     body: Conjunction,
     instance: Instance,
     delta: Set[Atom],
     seed: Optional[Binding] = None,
 ) -> List[Binding]:
-    """Bindings of ``body`` that use at least one fact from ``delta``.
-
-    Implements the classical delta-join: for each positive atom position
-    ``i``, join with atom ``i`` restricted to ``delta`` and all other
-    atoms unrestricted, then deduplicate.  Negations are evaluated against
-    the full instance (their non-monotonicity is the rewriter's concern,
-    not the evaluator's).
-    """
     if not body.atoms:
-        return evaluate(body, instance, seed=seed)
+        return _evaluate_reference(body, instance, seed=seed)
     relations_in_delta = {f.relation for f in delta}
     out: List[Binding] = []
     seen: Set[Tuple[Tuple[Variable, Term], ...]] = set()
@@ -233,8 +646,9 @@ def evaluate_delta(
             continue
         seed_binding: Binding = dict(seed or {})
         bound_now: Set[Variable] = set(seed_binding)
-        # Anchor join first, restricted to delta facts.
-        solutions = _join_step([seed_binding], anchor, instance, bound_now, delta=delta)
+        solutions = _join_step_reference(
+            [seed_binding], anchor, instance, bound_now, delta=delta
+        )
         if not solutions:
             continue
         for variable in anchor.variables():
@@ -242,21 +656,9 @@ def evaluate_delta(
         rest = [a for i, a in enumerate(body.atoms) if i != anchor_index]
         rest_body = Conjunction(rest, body.comparisons, body.negations)
         for binding in solutions:
-            for full in evaluate(rest_body, instance, seed=binding):
+            for full in _evaluate_reference(rest_body, instance, seed=binding):
                 key = tuple(sorted(full.items()))
                 if key not in seen:
                     seen.add(key)
                     out.append(full)
     return out
-
-
-def exists(
-    body: Conjunction, instance: Instance, seed: Optional[Binding] = None
-) -> bool:
-    """Whether ``body`` has at least one match in ``instance``."""
-    return bool(evaluate(body, instance, seed=seed, limit=1))
-
-
-def bindings_to_substitutions(bindings: Iterable[Binding]) -> List[Substitution]:
-    """Convert raw binding dicts to :class:`Substitution` objects."""
-    return [Substitution(b) for b in bindings]

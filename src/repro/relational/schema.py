@@ -8,7 +8,7 @@ and :meth:`Schema.constraint_egds` compile the declarations into egds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ArityError, SchemaError, UnknownRelationError

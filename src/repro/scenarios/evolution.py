@@ -23,13 +23,12 @@ from repro.core.scenario import MappingScenario
 from repro.datalog.program import ViewProgram
 from repro.logic.atoms import (
     Atom,
-    Comparison,
     Conjunction,
     Equality,
     NegatedConjunction,
 )
 from repro.logic.dependencies import Dependency, egd, tgd
-from repro.logic.terms import Constant, Variable
+from repro.logic.terms import Variable
 from repro.relational.instance import Instance
 from repro.relational.schema import Schema
 

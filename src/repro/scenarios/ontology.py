@@ -15,7 +15,7 @@ rewrites into a ded with ``width + 1`` disjuncts.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from repro.core.scenario import MappingScenario
 from repro.datalog.program import ViewProgram

@@ -10,7 +10,6 @@ from repro.relational.instance import Instance
 from repro.scenarios.running_example import (
     build_scenario,
     build_source_schema,
-    build_target_schema,
     build_target_views,
     generate_source_instance,
 )

@@ -1,6 +1,5 @@
 """Tests for the greedy ded chase: selections, heuristics, soundness."""
 
-import pytest
 
 from repro.chase.ded import GreedyDedChase, branch_cost, greedy_ded_chase
 from repro.chase.result import ChaseStatus

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datalog.evaluate import evaluate_view, materialize, view_extent
-from repro.datalog.program import Rule, ViewProgram
+from repro.datalog.program import ViewProgram
 from repro.datalog.stratify import (
     check_nonrecursive,
     depends_on,

@@ -1,8 +1,7 @@
 """Tests for the full disjunctive chase (universal model sets)."""
 
-import pytest
 
-from repro.chase.disjunctive import DisjunctiveChase, disjunctive_chase
+from repro.chase.disjunctive import disjunctive_chase
 from repro.chase.universal import satisfies
 from repro.logic.atoms import Atom, Conjunction, Equality
 from repro.logic.dependencies import Disjunct, ded, denial, tgd

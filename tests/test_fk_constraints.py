@@ -6,20 +6,17 @@ well" — inclusion dependencies over the semantic schema.  A constraint
 view conclusion; the rewriter must unfold both.
 """
 
-import pytest
 
 from repro.core.analysis import predict_deds
 from repro.core.rewriter import rewrite
 from repro.core.scenario import MappingScenario
 from repro.datalog.program import ViewProgram
-from repro.errors import UnsafeDependencyError
 from repro.logic.atoms import Atom, Conjunction, NegatedConjunction
 from repro.logic.dependencies import DependencyKind, tgd
 from repro.logic.terms import Variable
 from repro.pipeline import run_scenario
 from repro.relational.schema import Schema
 from repro.scenarios.running_example import (
-    build_fk_constraint,
     build_scenario,
     generate_source_instance,
 )

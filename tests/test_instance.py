@@ -178,3 +178,77 @@ class TestCopies:
         rendered = str(instance)
         assert "more" in rendered
         assert str(Instance()) == "(empty instance)"
+
+
+class _ScanCountingInstance(Instance):
+    """Counts how many insertion-log entries a delta scan touches."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.entries_scanned = 0
+
+    def _log_entries(self, generation):
+        for entry in super()._log_entries(generation):
+            self.entries_scanned += 1
+            yield entry
+
+
+class TestFactsSinceIsDeltaSized:
+    def test_no_full_instance_scan(self):
+        """facts_since(g) reads the per-generation insertion lists, so a
+        small delta on top of a big instance costs O(|delta|), not O(n)."""
+        instance = _ScanCountingInstance()
+        for i in range(10_000):
+            instance.add(fact("R", i))
+        generation = instance.bump_generation()
+        for i in range(5):
+            instance.add(fact("Delta", i))
+        instance.entries_scanned = 0
+        newer = instance.facts_since(generation)
+        assert {f.relation for f in newer} == {"Delta"}
+        assert len(newer) == 5
+        assert instance.entries_scanned == 5
+
+    def test_relation_filter_stays_delta_sized(self):
+        instance = _ScanCountingInstance()
+        for i in range(1_000):
+            instance.add(fact("R", i))
+        generation = instance.bump_generation()
+        instance.add(fact("R", 1_000))
+        instance.add(fact("S", 0))
+        instance.entries_scanned = 0
+        assert instance.facts_since(generation, "R") == [fact("R", 1_000)]
+        assert instance.entries_scanned == 2
+
+    def test_removed_and_rewritten_facts_filtered(self):
+        instance = Instance()
+        instance.add(fact("R", 1))
+        generation = instance.bump_generation()
+        instance.add(fact("R", 2))
+        instance.add(fact("R", 3))
+        instance.remove(fact("R", 2))
+        assert instance.facts_since(generation) == [fact("R", 3)]
+
+    def test_null_map_keeps_earliest_generation_reachable(self):
+        instance = Instance()
+        null = Null(7)
+        instance.add(fact("R", null))
+        generation = instance.bump_generation()
+        instance.add(fact("R", "x"))
+        # Rewriting the older null fact onto the newer constant fact must
+        # keep the collapsed fact visible from its earliest generation.
+        instance.apply_null_map({null: Constant("x")})
+        assert instance.facts_since(0) == [fact("R", "x")]
+        # The earliest generation (0) was kept, so the collapsed fact is
+        # *not* part of the newer generation's delta.
+        assert fact("R", "x") not in instance.facts_since(generation)
+
+    def test_copy_preserves_insertion_log(self):
+        instance = Instance()
+        instance.add(fact("R", 1))
+        generation = instance.bump_generation()
+        instance.add(fact("R", 2))
+        clone = instance.copy()
+        clone.add(fact("R", 3))
+        assert set(clone.facts_since(generation)) == {fact("R", 2), fact("R", 3)}
+        assert instance.facts_since(generation) == [fact("R", 2)]

@@ -6,13 +6,11 @@ dependency set, the chase behaviour branch by branch, and the final
 classification the semantic schema exposes over the produced target.
 """
 
-import pytest
 
 from repro.chase.ded import GreedyDedChase
 from repro.chase.disjunctive import disjunctive_chase
 from repro.chase.engine import StandardChase
 from repro.chase.universal import satisfies
-from repro.core.rewriter import rewrite
 from repro.core.verify import verify_solution
 from repro.datalog.evaluate import view_extent
 from repro.logic.pretty import render_dependencies, render_dependency

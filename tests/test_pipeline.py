@@ -1,6 +1,5 @@
 """End-to-end pipeline tests across every scenario family."""
 
-import pytest
 
 from repro.chase.result import ChaseStatus
 from repro.pipeline import run_scenario, strip_auxiliary

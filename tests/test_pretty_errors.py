@@ -1,6 +1,5 @@
 """Tests for rendering (pretty), the error hierarchy, and misc surfaces."""
 
-import pytest
 
 from repro.errors import (
     ArityError,
@@ -19,7 +18,7 @@ from repro.logic.pretty import (
     render_dependencies,
     render_dependency,
 )
-from repro.logic.terms import Constant, Variable
+from repro.logic.terms import Variable
 
 x, y = Variable("x"), Variable("y")
 

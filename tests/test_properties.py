@@ -13,10 +13,8 @@ from __future__ import annotations
 import hypothesis.strategies as st
 from hypothesis import HealthCheck, given, settings
 
-from repro.core.compose import extend_source
 from repro.core.rewriter import rewrite
-from repro.datalog.evaluate import materialize
-from repro.logic.atoms import Atom, Conjunction
+from repro.logic.atoms import Atom
 from repro.logic.homomorphism import (
     apply_assignment,
     exists_homomorphism,
@@ -26,7 +24,6 @@ from repro.logic.substitution import Substitution
 from repro.logic.terms import Constant, Null, Variable
 from repro.pipeline import run_scenario
 from repro.relational.instance import Instance
-from repro.relational.query import evaluate
 from repro.scenarios.generators import random_scenario
 from repro.scenarios.running_example import build_scenario, generate_source_instance
 

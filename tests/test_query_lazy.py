@@ -1,0 +1,190 @@
+"""Regression tests for the lazy compiled evaluator's short-circuiting.
+
+The chase probes ``exists()`` once per premise match, so probe cost must
+be independent of relation size: a satisfied conclusion on a 10k-fact
+relation has to be found by one hash-index lookup, not by computing the
+full join and truncating.  These tests instrument ``Instance.index`` to
+count how many index lookups happen and how many facts the pipeline
+actually examines.
+"""
+
+import pytest
+
+from repro.errors import UnsafeDependencyError
+from repro.logic.atoms import Atom, Comparison, Conjunction
+from repro.logic.terms import Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.query import (
+    compile_query,
+    evaluate,
+    evaluate_iter,
+    exists,
+    reference_evaluator,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class _CountingBucket:
+    def __init__(self, bucket, counters):
+        self._bucket = bucket
+        self._counters = counters
+
+    def __iter__(self):
+        for fact in self._bucket:
+            self._counters["facts_scanned"] += 1
+            yield fact
+
+
+class _CountingIndex:
+    def __init__(self, base, counters):
+        self._base = base
+        self._counters = counters
+
+    def get(self, key, default=()):
+        return _CountingBucket(self._base.get(key, default), self._counters)
+
+    def __contains__(self, key):
+        self._counters["key_probes"] += 1
+        return key in self._base
+
+    def __len__(self):
+        return len(self._base)
+
+
+class ProbeCountingInstance(Instance):
+    """Counts index lookups, key probes and facts examined by queries."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.counters = {"index_calls": 0, "key_probes": 0, "facts_scanned": 0}
+
+    def index(self, relation, positions):
+        self.counters["index_calls"] += 1
+        return _CountingIndex(super().index(relation, positions), self.counters)
+
+    def reset_counters(self):
+        for key in self.counters:
+            self.counters[key] = 0
+
+
+def _bulk_instance(n):
+    instance = ProbeCountingInstance()
+    for i in range(n):
+        instance.add(Atom("R", (Constant(i), Constant(f"name_{i}"), Constant(i % 7))))
+    return instance
+
+
+class TestExistsShortCircuit:
+    def test_seeded_probe_is_constant_work(self):
+        """A chase-style satisfaction probe does O(1) work at any size."""
+        work = {}
+        for n in (100, 10_000):
+            instance = _bulk_instance(n)
+            body = Conjunction(atoms=(Atom("R", (x, y, z)),))
+            seed = {x: Constant(n // 2), y: Constant(f"name_{n // 2}")}
+            assert exists(body, instance, seed=seed)
+            instance.reset_counters()
+            for _ in range(10):
+                assert exists(body, instance, seed=seed)
+            work[n] = dict(instance.counters)
+        # Identical work at 100x the data: the probe is a key-membership
+        # test on a live hash index, so no facts are ever scanned.
+        assert work[100] == work[10_000]
+        assert work[10_000]["facts_scanned"] == 0
+        assert work[10_000]["key_probes"] == 10
+
+    def test_unseeded_exists_scans_one_fact(self):
+        instance = _bulk_instance(10_000)
+        body = Conjunction(atoms=(Atom("R", (x, y, z)),))
+        assert exists(body, instance)
+        instance.reset_counters()
+        assert exists(body, instance)
+        assert instance.counters["facts_scanned"] <= 1
+
+    def test_join_probe_stops_early(self):
+        """exists() over a join stops at the first complete row."""
+        instance = ProbeCountingInstance()
+        for i in range(5_000):
+            instance.add(Atom("E", (Constant(i), Constant(i + 1))))
+        body = Conjunction(atoms=(Atom("E", (x, y)), Atom("E", (y, z))))
+        assert exists(body, instance)
+        instance.reset_counters()
+        assert exists(body, instance)
+        assert instance.counters["facts_scanned"] <= 4
+
+    def test_negative_probe_misses_cheaply(self):
+        instance = _bulk_instance(10_000)
+        body = Conjunction(atoms=(Atom("R", (x, y, z)),))
+        seed = {x: Constant(-1), y: Constant("nope")}
+        instance.reset_counters()
+        assert not exists(body, instance, seed=seed)
+        assert instance.counters["facts_scanned"] == 0
+
+
+class TestEvaluateLimit:
+    def test_limit_truncates_work_not_just_output(self):
+        instance = _bulk_instance(10_000)
+        body = Conjunction(atoms=(Atom("R", (x, y, z)),))
+        evaluate(body, instance, limit=1)  # warm plan + index
+        instance.reset_counters()
+        rows = evaluate(body, instance, limit=5)
+        assert len(rows) == 5
+        assert instance.counters["facts_scanned"] <= 5
+
+    def test_iterator_is_lazy(self):
+        instance = _bulk_instance(10_000)
+        body = Conjunction(atoms=(Atom("R", (x, y, z)),))
+        next(evaluate_iter(body, instance))  # warm
+        instance.reset_counters()
+        stream = evaluate_iter(body, instance)
+        for _ in range(3):
+            next(stream)
+        assert instance.counters["facts_scanned"] == 3
+
+    def test_limit_matches_reference_semantics(self):
+        instance = _bulk_instance(50)
+        body = Conjunction(
+            atoms=(Atom("R", (x, y, z)),),
+            comparisons=(Comparison("<", x, Constant(10)),),
+        )
+        fast = evaluate(body, instance)
+        with reference_evaluator():
+            slow = evaluate(body, instance)
+        key = lambda b: sorted((v.name, str(t)) for v, t in b.items())
+        assert sorted(map(key, fast)) == sorted(map(key, slow))
+        assert len(evaluate(body, instance, limit=3)) == 3
+
+
+class TestCompiledQueryEdgeCases:
+    def test_unsafe_comparison_still_raises(self):
+        body = Conjunction(
+            atoms=(Atom("R", (x, y, z)),),
+            comparisons=(Comparison("<", Variable("unbound"), Constant(1)),),
+        )
+        instance = _bulk_instance(3)
+        with pytest.raises(UnsafeDependencyError):
+            evaluate(body, instance)
+
+    def test_unsafe_comparison_silent_on_empty_data(self):
+        # The materialized evaluator returned [] before reaching the
+        # safety check when no binding survived; the pipeline matches.
+        body = Conjunction(
+            atoms=(Atom("Missing", (x,)),),
+            comparisons=(Comparison("<", Variable("unbound"), Constant(1)),),
+        )
+        assert evaluate(body, _bulk_instance(3)) == []
+
+    def test_compile_cache_reuses_plans(self):
+        body = Conjunction(atoms=(Atom("R", (x, y, z)),))
+        instance = _bulk_instance(10)
+        first = compile_query(body, (), instance)
+        second = compile_query(Conjunction(atoms=(Atom("R", (x, y, z)),)), (), instance)
+        assert first is second
+
+    def test_repeated_fresh_variable_checked(self):
+        instance = ProbeCountingInstance()
+        instance.add(Atom("P", (Constant(1), Constant(2))))
+        instance.add(Atom("P", (Constant(3), Constant(3))))
+        rows = evaluate(Conjunction(atoms=(Atom("P", (x, x)),)), instance)
+        assert len(rows) == 1 and rows[0][x] == Constant(3)

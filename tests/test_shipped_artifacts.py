@@ -2,7 +2,6 @@
 
 from pathlib import Path
 
-import pytest
 
 from repro.chase.engine import ChaseConfig, StandardChase
 from repro.chase.ded import GreedyDedChase

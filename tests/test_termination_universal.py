@@ -1,6 +1,5 @@
 """Tests for weak acyclicity and universal-solution utilities."""
 
-import pytest
 
 from repro.chase.termination import (
     is_weakly_acyclic,

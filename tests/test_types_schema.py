@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ArityError, SchemaError, TypingError, UnknownRelationError
-from repro.logic.atoms import Equality
 from repro.logic.dependencies import DependencyKind
 from repro.logic.terms import Constant, Null
 from repro.relational.schema import Attribute, FunctionalDependency, Relation, Schema
