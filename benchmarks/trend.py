@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Diff two sets of ``BENCH_*.json`` artifacts and flag regressions.
+
+CI uploads the quick-mode bench measurements of every PR as
+``BENCH_*.json`` files.  This script compares the current run against
+the previous one (restored from the workflow cache) and prints each
+metric's movement, flagging changes past a threshold (default 20%) in
+the metric's *bad* direction:
+
+* metrics whose key mentions time (``seconds``, ``_s``, ``per_probe``)
+  regress by going **up**;
+* metrics whose key mentions rate (``speedup``, ``throughput``,
+  ``per_sec``, ``per_second``) regress by going **down**;
+* other numeric metrics are reported when they move but never flagged —
+  sizes and counts have no universal polarity.
+
+Exit status is 1 when any regression was flagged (CI surfaces it as a
+warning rather than failing the build: quick-mode numbers on shared
+runners are noisy, and the artifact history is the ground truth).
+
+Usage::
+
+    python benchmarks/trend.py CURRENT_DIR PREVIOUS_DIR [--threshold 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+LOWER_IS_BETTER = ("seconds", "per_probe", "elapsed", "wall")
+HIGHER_IS_BETTER = ("speedup", "throughput", "per_sec", "per_second", "rate")
+
+
+def flatten(payload: object, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Numeric leaves of a nested JSON payload as dotted paths."""
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from flatten(payload[key], path)
+    elif isinstance(payload, bool):
+        return  # True/False are not measurements
+    elif isinstance(payload, (int, float)):
+        yield prefix, float(payload)
+
+
+def direction(path: str) -> int:
+    """-1: lower is better, +1: higher is better, 0: no polarity."""
+    lowered = path.lower()
+    if any(marker in lowered for marker in HIGHER_IS_BETTER):
+        return 1
+    if any(marker in lowered for marker in LOWER_IS_BETTER):
+        return -1
+    return 0
+
+
+def load_directory(directory: str) -> Dict[str, Dict[str, float]]:
+    """``{bench name: {metric path: value}}`` for every BENCH_*.json."""
+    out: Dict[str, Dict[str, float]] = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        name = os.path.basename(path)[len("BENCH_") : -len(".json")]
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"trend: skipping unreadable {path}: {exc}", file=sys.stderr)
+            continue
+        out[name] = dict(flatten(payload))
+    return out
+
+
+def compare(
+    current: Dict[str, Dict[str, float]],
+    previous: Dict[str, Dict[str, float]],
+    threshold: float,
+) -> Tuple[List[str], List[str]]:
+    """(regressions, informational movements) as printable lines."""
+    regressions: List[str] = []
+    movements: List[str] = []
+    for bench in sorted(current):
+        if bench not in previous:
+            movements.append(f"{bench}: new benchmark (no previous run)")
+            continue
+        before, after = previous[bench], current[bench]
+        for metric in sorted(after):
+            if metric not in before:
+                continue
+            old, new = before[metric], after[metric]
+            if old == new:
+                continue
+            base = max(abs(old), 1e-12)
+            change = (new - old) / base
+            line = (
+                f"{bench}.{metric}: {old:g} -> {new:g} "
+                f"({change:+.1%})"
+            )
+            polarity = direction(metric)
+            worse = (polarity == -1 and change > threshold) or (
+                polarity == 1 and change < -threshold
+            )
+            if worse:
+                regressions.append(f"REGRESSION {line}")
+            elif abs(change) > threshold:
+                movements.append(line)
+    return regressions, movements
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="directory with this run's BENCH_*.json")
+    parser.add_argument("previous", help="directory with the last run's BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="relative change flagged as a regression (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_directory(args.current)
+    previous = load_directory(args.previous)
+    if not current:
+        print(f"trend: no BENCH_*.json under {args.current}", file=sys.stderr)
+        return 0
+    if not previous:
+        print("trend: no previous measurements; nothing to compare")
+        return 0
+
+    regressions, movements = compare(current, previous, args.threshold)
+    for line in movements:
+        print(line)
+    for line in regressions:
+        print(line)
+    if regressions:
+        print(
+            f"trend: {len(regressions)} metric(s) regressed more than "
+            f"{args.threshold:.0%}"
+        )
+        return 1
+    print("trend: no regressions past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,11 +4,13 @@ A chase run evaluates the same handful of dependencies over and over:
 every round re-finds premise matches, and every premise match probes
 every conclusion disjunct for satisfaction.  Re-planning those joins on
 each call dominated the profile, so this module compiles each dependency
-once and caches
+once on top of the shared incremental engine
+(:mod:`repro.relational.delta`) and caches
 
-* the premise join plan (full evaluation),
-* one *anchored* premise plan per premise atom (delta evaluation joins
-  the anchor — restricted to the round's new facts — first),
+* the premise :class:`~repro.relational.delta.DeltaPlans` (full
+  evaluation plus one *anchored* plan per premise atom — delta
+  evaluation joins the anchor, restricted to the round's new facts,
+  first),
 * per disjunct: the equality/comparison schedule plus a compiled
   satisfaction probe seeded with the premise variables.
 
@@ -21,29 +23,25 @@ incrementally on insertion, facts created by enforcing one match are
 visible to the next match's probe — preserving the restricted chase's
 semantics while each probe costs O(1) instead of a fresh join.
 
-Plans are data-independent (relation sizes only break ties), so one
-:class:`CompiledDependency` is reusable across rounds, runs, and — for
-the greedy ded search — across all derived scenarios of a selection
-sweep.
+All of a dependency's plans share one :class:`~repro.relational.delta.PlanCache`,
+whose recompile policy (size doubling + distinct-key selectivity drift)
+keeps plans no more than a constant factor stale.  Plans are otherwise
+data-independent, so one :class:`CompiledDependency` is reusable across
+rounds, runs, and — for the greedy ded search — across all derived
+scenarios of a selection sweep.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set
 
 from repro.errors import ChaseError, TypingError
 from repro.logic.atoms import Atom, Conjunction
 from repro.logic.dependencies import Dependency
 from repro.logic.terms import Term, Variable
+from repro.relational.delta import DeltaPlans, PlanCache
 from repro.relational.instance import Instance
-from repro.relational import query as _query
-from repro.relational.query import (
-    Binding,
-    CompiledQuery,
-    evaluate,
-    evaluate_delta,
-    exists,
-)
+from repro.relational.query import Binding
 
 __all__ = ["CompiledDependency", "compile_dependencies"]
 
@@ -75,46 +73,33 @@ def _ground_check(comparison, binding: Binding) -> bool:
 class CompiledDependency:
     """One dependency's cached premise and satisfaction plans.
 
-    Plans are recompiled when the relations they touch have grown past
-    twice the size they were compiled at: join-order quality depends on
-    selectivity estimates, and the first probes of a chase run happen
-    against still-empty target relations whose statistics are useless.
-    The doubling rule keeps recompiles logarithmic in the final instance
-    size while plans never run against statistics more than 2x stale.
+    Plans live in a per-dependency :class:`PlanCache` and are recompiled
+    under its shared policy: join-order quality depends on selectivity
+    estimates, and the first probes of a chase run happen against
+    still-empty target relations whose statistics are useless.  The
+    size-doubling rule keeps recompiles logarithmic in the final
+    instance size while the drift rule reacts to key-distribution
+    changes growth alone would miss.
     """
 
-    __slots__ = ("dependency", "_premise_vars", "_satisfaction_bodies", "_plans")
-
-    #: Below this many facts any plan is fine; avoids churn on tiny data.
-    _RECOMPILE_FLOOR = 8
+    __slots__ = ("dependency", "_premise", "_satisfaction", "_cache")
 
     def __init__(self, dependency: Dependency) -> None:
         self.dependency = dependency
-        self._premise_vars = frozenset(dependency.premise.positive_variables())
-        self._satisfaction_bodies = [
-            Conjunction(atoms=disjunct.atoms) for disjunct in dependency.disjuncts
+        self._cache = PlanCache()
+        self._premise = DeltaPlans(
+            dependency.premise, cache=self._cache, key="premise"
+        )
+        premise_vars = frozenset(dependency.premise.positive_variables())
+        self._satisfaction = [
+            DeltaPlans(
+                Conjunction(atoms=disjunct.atoms),
+                bound=premise_vars,
+                cache=self._cache,
+                key=("satisfied", index),
+            )
+            for index, disjunct in enumerate(dependency.disjuncts)
         ]
-        # plan-key -> (CompiledQuery, watched relation size at compile)
-        self._plans: Dict[object, Tuple[CompiledQuery, int]] = {}
-
-    def _plan(
-        self,
-        key: object,
-        body: Conjunction,
-        bound: frozenset,
-        instance: Instance,
-        first_atom: Optional[int] = None,
-    ) -> CompiledQuery:
-        entry = self._plans.get(key)
-        size = instance.size
-        current = sum(size(r) for r in {a.relation for a in body.atoms})
-        if entry is not None:
-            plan, compiled_at = entry
-            if current < 2 * max(compiled_at, self._RECOMPILE_FLOOR):
-                return plan
-        plan = CompiledQuery(body, bound, instance, first_atom)
-        self._plans[key] = (plan, current)
-        return plan
 
     # -- premise -----------------------------------------------------------
 
@@ -122,40 +107,9 @@ class CompiledDependency:
         self, working: Instance, delta: Optional[Set[Atom]]
     ) -> List[Binding]:
         """All premise bindings, optionally restricted to ``delta`` facts."""
-        if _query.reference_mode_active():
-            if delta is None:
-                return evaluate(self.dependency.premise, working)
-            return evaluate_delta(self.dependency.premise, working, delta)
         if delta is None:
-            plan = self._plan(
-                "premise", self.dependency.premise, frozenset(), working
-            )
-            return list(plan.bindings(working))
-        return self._delta_matches(working, delta)
-
-    def _delta_matches(self, working: Instance, delta: Set[Atom]) -> List[Binding]:
-        premise = self.dependency.premise
-        if not premise.atoms:
-            return self.premise_matches(working, None)
-        relations_in_delta = {f.relation for f in delta}
-        out: List[Binding] = []
-        seen: Set[Tuple[Tuple[Variable, Term], ...]] = set()
-        for anchor_index, anchor in enumerate(premise.atoms):
-            if anchor.relation not in relations_in_delta:
-                continue
-            plan = self._plan(
-                ("anchor", anchor_index),
-                premise,
-                frozenset(),
-                working,
-                first_atom=anchor_index,
-            )
-            for binding in plan.bindings(working, delta=delta):
-                key = tuple(sorted(binding.items()))
-                if key not in seen:
-                    seen.add(key)
-                    out.append(binding)
-        return out
+            return self._premise.matches(working)
+        return self._premise.delta_matches(working, delta)
 
     # -- satisfaction ------------------------------------------------------
 
@@ -172,15 +126,7 @@ class CompiledDependency:
                 return False
         if not disjunct.atoms:
             return True
-        if _query.reference_mode_active():
-            return exists(Conjunction(atoms=disjunct.atoms), working, seed=binding)
-        plan = self._plan(
-            ("satisfied", disjunct_index),
-            self._satisfaction_bodies[disjunct_index],
-            self._premise_vars,
-            working,
-        )
-        return plan.exists(working, binding)
+        return self._satisfaction[disjunct_index].exists(working, binding)
 
     def satisfied(self, binding: Binding, working: Instance) -> bool:
         """Whether *any* conclusion disjunct holds under ``binding``."""

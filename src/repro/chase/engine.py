@@ -58,6 +58,12 @@ class ChaseConfig:
     keep_working: bool = False
     """Retain the full working instance on the result (debugging)."""
 
+    oblivious_trigger_limit: int = 100_000
+    """How many oblivious-policy triggers are remembered *exactly*.
+    Past the limit, fired triggers spill into a fixed-size Bloom filter,
+    bounding the memory of long oblivious runs (see
+    :class:`_TriggerMemory`)."""
+
 
 class _NullMap:
     """Union-find over labeled nulls, with constants as sinks."""
@@ -107,6 +113,80 @@ class _NullMap:
 
     def __len__(self) -> int:
         return len(self._parent)
+
+
+class _TriggerMemory:
+    """Bounded memory of fired oblivious-policy triggers.
+
+    The oblivious chase must remember every (dependency, premise
+    binding) it ever fired, and on long runs an exact set grows without
+    bound — the ROADMAP's "oblivious-policy trigger memory" item.  This
+    structure keeps the first ``exact_limit`` triggers exactly; once the
+    limit is hit, *new* triggers spill into a fixed-size double-hashed
+    Bloom filter (``BLOOM_BITS`` bits, ``HASHES`` probes ≈ 1% false
+    positives at 10^5 spilled entries), so memory is bounded by
+    ``exact_limit`` tuples plus ``BLOOM_BITS / 8`` bytes regardless of
+    run length.
+
+    There are no false negatives — every added trigger is found again,
+    so a trigger never fires twice.  A Bloom false positive makes the
+    chase skip a trigger it never actually fired: for the oblivious
+    policy (a termination/analysis tool, deliberately over-firing) an
+    occasional conservative skip is an acceptable trade for bounded
+    memory; the default restricted policy never consults this structure
+    and stays exact.
+    """
+
+    __slots__ = ("_exact", "_limit", "_bits", "_spilled")
+
+    BLOOM_BITS = 1 << 20  # 128 KiB of bytearray once spilling starts
+    HASHES = 4
+
+    def __init__(self, exact_limit: int) -> None:
+        self._exact: Set[Tuple[int, Tuple[Term, ...]]] = set()
+        self._limit = max(0, exact_limit)
+        self._bits: Optional[bytearray] = None
+        self._spilled = 0
+
+    def _probes(self, trigger) -> List[int]:
+        first = hash(trigger)
+        second = hash((0x9E3779B9, trigger)) | 1  # odd: visits all slots
+        mask = self.BLOOM_BITS - 1
+        return [(first + i * second) & mask for i in range(self.HASHES)]
+
+    def __contains__(self, trigger) -> bool:
+        if trigger in self._exact:
+            return True
+        bits = self._bits
+        if bits is None:
+            return False
+        return all(bits[p >> 3] & (1 << (p & 7)) for p in self._probes(trigger))
+
+    def add(self, trigger) -> None:
+        if self._bits is None:
+            if len(self._exact) < self._limit:
+                self._exact.add(trigger)
+                return
+            self._bits = bytearray(self.BLOOM_BITS // 8)
+        for p in self._probes(trigger):
+            self._bits[p >> 3] |= 1 << (p & 7)
+        self._spilled += 1
+
+    # -- introspection (memory-growth regression tests) --------------------
+
+    @property
+    def exact_size(self) -> int:
+        return len(self._exact)
+
+    @property
+    def spilled(self) -> int:
+        return self._spilled
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Upper bound on the structure's own storage (test hook)."""
+        bloom = len(self._bits) if self._bits is not None else 0
+        return bloom + sum(64 + 48 * len(t[1]) for t in self._exact)
 
 
 class StandardChase:
@@ -222,7 +302,9 @@ class StandardChase:
     def _chase_rounds(
         self, working: Instance, factory: NullFactory, stats: ChaseStats
     ) -> None:
-        fired_triggers: Set[Tuple[int, Tuple[Term, ...]]] = set()
+        fired_triggers = _TriggerMemory(self.config.oblivious_trigger_limit)
+        # Exposed for memory-growth regression tests.
+        self._trigger_memory = fired_triggers
         delta: Optional[Set[Atom]] = None  # None = evaluate everything
         while True:
             stats.rounds += 1
@@ -256,7 +338,7 @@ class StandardChase:
         factory: NullFactory,
         stats: ChaseStats,
         delta: Optional[Set[Atom]],
-        fired_triggers: Set[Tuple[int, Tuple[Term, ...]]],
+        fired_triggers: "_TriggerMemory",
     ) -> int:
         """Process one dependency for one round; returns #null-rewrites."""
         compiled = self.compiled[index]

@@ -8,10 +8,15 @@ end-to-end soundness verifier.
 """
 
 from repro.core.analysis import DedPrediction, ViewDiagnostic, analyze, predict_deds
-from repro.core.compose import extend_source, materialize_source_views
+from repro.core.compose import (
+    extend_source,
+    materialize_source_views,
+    source_database,
+)
 from repro.core.rewriter import AUX_PREFIX, Provenance, RewriteResult, rewrite
 from repro.core.scenario import MappingScenario
 from repro.core.verify import (
+    ScenarioVerifier,
     VerificationReport,
     Violation,
     semantic_target,
@@ -30,6 +35,8 @@ __all__ = [
     "ViewDiagnostic",
     "extend_source",
     "materialize_source_views",
+    "source_database",
+    "ScenarioVerifier",
     "verify_solution",
     "VerificationReport",
     "Violation",

@@ -6,16 +6,23 @@ composing two steps: (i) apply the source view definitions to the source
 instance, materializing ``Υ_S(I_S)``; (ii) treat the materialized
 instance as a new source database.  :func:`extend_source` implements
 step (i); the chase then runs over the returned instance.
+
+The materialization lives in a
+:class:`~repro.datalog.evaluate.SemanticDatabase`: callers that check
+many candidate targets over one scenario (the verifier, the batch
+runtime) keep the database via :func:`source_database` and share the
+single incrementally-maintained ``I_S ∪ Υ_S(I_S)`` instead of paying
+one cold materialization per candidate.
 """
 
 from __future__ import annotations
 
 
 from repro.core.scenario import MappingScenario
-from repro.datalog.evaluate import materialize
+from repro.datalog.evaluate import SemanticDatabase, materialize
 from repro.relational.instance import Instance
 
-__all__ = ["extend_source", "materialize_source_views"]
+__all__ = ["extend_source", "materialize_source_views", "source_database"]
 
 
 def materialize_source_views(
@@ -27,19 +34,25 @@ def materialize_source_views(
     return materialize(scenario.source_views, source_instance)
 
 
+def source_database(
+    scenario: MappingScenario, source_instance: Instance
+) -> SemanticDatabase:
+    """A live semantic database holding ``I_S ∪ Υ_S(I_S)``.
+
+    Reusable and extendable: feed it more source facts and ``refresh()``
+    to maintain the view extents semi-naively rather than rebuilding.
+    """
+    return SemanticDatabase(scenario.source_views, base=source_instance)
+
+
 def extend_source(
     scenario: MappingScenario, source_instance: Instance
 ) -> Instance:
     """``I_S ∪ Υ_S(I_S)``: the instance mapping premises evaluate against.
 
     Without source views this is a plain copy (schema dropped, since the
-    chase working instance mixes vocabularies).
+    chase working instance mixes vocabularies).  The returned instance
+    is freshly built and exclusively the caller's; holders that want to
+    keep extending it should use :func:`source_database` instead.
     """
-    extended = Instance()
-    for fact in source_instance:
-        extended.add(fact)
-    if scenario.source_views is not None:
-        materialized = materialize(scenario.source_views, source_instance)
-        for fact in materialized:
-            extended.add(fact)
-    return extended
+    return source_database(scenario, source_instance).instance

@@ -167,6 +167,19 @@ class RewriteResult:
             self.aux_arities
         )
 
+    def verifier(self, source_instance) -> "ScenarioVerifier":
+        """A soundness verifier for candidate targets of this rewriting.
+
+        All candidates produced from one rewriting share the scenario's
+        source side, so the returned
+        :class:`~repro.core.verify.ScenarioVerifier` materializes
+        ``I_S ∪ Υ_S(I_S)`` once into a shared semantic database and
+        verifies each candidate against it.
+        """
+        from repro.core.verify import ScenarioVerifier
+
+        return ScenarioVerifier(self.scenario, source_instance)
+
     def problematic_views(self) -> List[str]:
         """Views implicated in the production of deds.
 

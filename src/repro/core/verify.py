@@ -13,14 +13,20 @@ produced target instance:
 
 The verifier is used by the integration tests and by the property-based
 soundness suite; it is also exported so downstream users can audit runs.
+
+The source side ``I_S ∪ Υ_S(I_S)`` never depends on the candidate
+target, so :class:`ScenarioVerifier` materializes it once (into a
+shared :class:`~repro.datalog.evaluate.SemanticDatabase`) and reuses it
+across every candidate — verifying k rewritings of one scenario costs
+one source materialization, not k.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from repro.core.compose import extend_source
+from repro.core.compose import source_database
 from repro.core.scenario import MappingScenario
 from repro.datalog.evaluate import materialize
 from repro.logic.atoms import Conjunction
@@ -29,7 +35,13 @@ from repro.logic.terms import Term, Variable
 from repro.relational.instance import Instance
 from repro.relational.query import evaluate_iter, exists
 
-__all__ = ["Violation", "VerificationReport", "verify_solution", "semantic_target"]
+__all__ = [
+    "Violation",
+    "VerificationReport",
+    "ScenarioVerifier",
+    "verify_solution",
+    "semantic_target",
+]
 
 
 @dataclass(frozen=True)
@@ -165,33 +177,75 @@ def _check_constraint(
     return matched
 
 
+class ScenarioVerifier:
+    """Soundness checks for many candidate targets of one scenario.
+
+    The source side ``I_S ∪ Υ_S(I_S)`` is materialized once — either
+    handed in (``source_side``, typically the chase input the pipeline
+    already built) or computed on first use — and shared by every
+    :meth:`verify` call.  Only the target side, which differs per
+    candidate, is materialized per call.
+    """
+
+    def __init__(
+        self,
+        scenario: MappingScenario,
+        source_instance: Instance,
+        source_side: Optional[Instance] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.source_instance = source_instance
+        self._source_side = source_side
+
+    @property
+    def source_side(self) -> Instance:
+        """``I_S ∪ Υ_S(I_S)``, materialized lazily and kept."""
+        if self._source_side is None:
+            self._source_side = source_database(
+                self.scenario, self.source_instance
+            ).instance
+        return self._source_side
+
+    def verify(
+        self, target_instance: Instance, max_violations: int = 100
+    ) -> VerificationReport:
+        """Check one candidate target against the semantic scenario."""
+        report = VerificationReport(ok=True)
+        source_side = self.source_side
+        target_side = semantic_target(self.scenario, target_instance)
+
+        for mapping in self.scenario.mappings:
+            report.premise_matches += _check_tgd(
+                mapping, source_side, target_side, report.violations, max_violations
+            )
+            report.mappings_checked += 1
+
+        for constraint in self.scenario.target_constraints:
+            report.premise_matches += _check_constraint(
+                constraint, target_side, report.violations, max_violations
+            )
+            report.constraints_checked += 1
+
+        report.ok = not report.violations
+        return report
+
+
 def verify_solution(
     scenario: MappingScenario,
     source_instance: Instance,
     target_instance: Instance,
     max_violations: int = 100,
+    source_side: Optional[Instance] = None,
 ) -> VerificationReport:
     """Check that ``target_instance`` solves the original semantic scenario.
 
     ``target_instance`` should contain physical target facts (auxiliary
     ``_grom_req_*`` relations, if present, are ignored by virtue of not
-    being mentioned in the scenario's dependencies).
+    being mentioned in the scenario's dependencies).  ``source_side``
+    lets callers that already hold ``I_S ∪ Υ_S(I_S)`` (the pipeline's
+    chase input) skip its re-materialization; verifying several
+    candidates is cheaper still through :class:`ScenarioVerifier`.
     """
-    report = VerificationReport(ok=True)
-    source_side = extend_source(scenario, source_instance)
-    target_side = semantic_target(scenario, target_instance)
-
-    for mapping in scenario.mappings:
-        report.premise_matches += _check_tgd(
-            mapping, source_side, target_side, report.violations, max_violations
-        )
-        report.mappings_checked += 1
-
-    for constraint in scenario.target_constraints:
-        report.premise_matches += _check_constraint(
-            constraint, target_side, report.violations, max_violations
-        )
-        report.constraints_checked += 1
-
-    report.ok = not report.violations
-    return report
+    return ScenarioVerifier(
+        scenario, source_instance, source_side=source_side
+    ).verify(target_instance, max_violations=max_violations)

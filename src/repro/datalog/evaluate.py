@@ -1,30 +1,65 @@
-"""Bottom-up evaluation of view programs over instances.
+"""Semi-naive bottom-up evaluation of view programs over instances.
 
 ``materialize(program, instance)`` computes the extent of every view:
 ``Υ(I)`` in the paper's notation.  The result is a *view instance* whose
 relations are the view predicates (base relations can be carried over on
-request, which the rewriter's verification path uses).
+request, which the rewriter's verification path uses to build the
+"semantic database" ``I ∪ Υ(I)``).
 
-Evaluation is stratified and bottom-up: views are processed in
-dependency order; each rule body is evaluated by the conjunctive-query
-engine against the union of the base instance and the already-computed
-view extents.  Negation therefore only ever consults fully-computed
-predicates — exactly the stratified semantics the paper assumes.
+Evaluation is stratified, bottom-up and **semi-naive**, built on the
+shared incremental engine (:mod:`repro.relational.delta`) the chase
+also uses:
+
+* views are grouped into strongly-connected components and processed in
+  dependency order (:func:`repro.datalog.stratify.stratified_components`);
+  negation therefore only ever consults fully-computed predicates —
+  exactly the stratified semantics the paper assumes;
+* each component is iterated to **fixpoint**: the first pass evaluates
+  every rule fully, then each subsequent pass evaluates only the rules
+  whose positive body atoms gained facts, joining their
+  delta-anchored plans against the facts of the previous pass only
+  (``Δ ⋈ I`` instead of ``I ⋈ I`` — the classical semi-naive
+  optimization, O(|Δ|) per pass);
+* mutually recursive components (transitive-closure-style views)
+  converge because every pass either adds facts or ends the loop — the
+  old evaluator ran each rule once per stratum and therefore
+  under-computed recursive views.
+
+:class:`SemanticDatabase` keeps a materialization *alive*: base facts
+can be appended after construction and :meth:`SemanticDatabase.refresh`
+re-establishes ``Υ(I)`` incrementally, so a verification sweep over k
+candidate targets (or a growing scenario) shares one semantic database
+instead of paying k cold materializations.  Additions are monotone for
+positive rules; strata whose rules negate a predicate that gained facts
+are soundly rebuilt from scratch (negation is not monotone under
+insertion), as are all strata above them.
+
+``materialize_naive`` retains the obviously-correct reference: evaluate
+every rule of every component against the full instance, repeatedly,
+until nothing changes.  The differential suite proves the semi-naive
+engine equivalent to it across the scenario corpus.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.datalog.program import Rule, ViewProgram
-from repro.datalog.stratify import evaluation_order
+from repro.datalog.stratify import stratified_components
 from repro.errors import DatalogError
 from repro.logic.atoms import Atom
 from repro.logic.terms import Term, Variable
+from repro.relational.delta import DeltaPlans, GenerationWindow, PlanCache
 from repro.relational.instance import Instance
 from repro.relational.query import evaluate as evaluate_body
 
-__all__ = ["materialize", "evaluate_view", "view_extent"]
+__all__ = [
+    "materialize",
+    "materialize_naive",
+    "SemanticDatabase",
+    "evaluate_view",
+    "view_extent",
+]
 
 
 def _head_fact(rule: Rule, binding: Dict[Variable, Term]) -> Atom:
@@ -42,6 +77,210 @@ def _head_fact(rule: Rule, binding: Dict[Variable, Term]) -> Atom:
     return Atom(rule.head.relation, tuple(terms))
 
 
+class SemanticDatabase:
+    """An incrementally-maintained semantic database ``I ∪ Υ(I)``.
+
+    Holds one working :class:`Instance` containing the base facts plus
+    every view extent, kept at fixpoint.  Feed base facts with
+    :meth:`add_facts` and call :meth:`refresh`; only the consequences of
+    the new facts are recomputed (semi-naive delta passes seeded with
+    the insertions since the last refresh), except where negation makes
+    insertion non-monotone — those strata, and everything above them,
+    are rebuilt.
+
+    The chase's verification paths hold one of these per scenario so
+    checking k candidate rewritings materializes the source-side views
+    once, not k times.
+    """
+
+    __slots__ = (
+        "program",
+        "_working",
+        "_components",
+        "_component_rules",
+        "_plans",
+        "_cache",
+        "_synced_generation",
+        "_fresh",
+        "_view_names",
+        "_seeded",
+    )
+
+    def __init__(
+        self,
+        program: Optional[ViewProgram],
+        base: Optional[Iterable[Atom]] = None,
+    ) -> None:
+        """``program`` may be ``None`` for a view-less semantic schema —
+        the database then degenerates to a plain fact store."""
+        self.program = program
+        self._working = Instance()
+        self._cache = PlanCache()
+        self._plans: Dict[int, DeltaPlans] = {}
+        if program is not None:
+            program.check_predicates()
+            self._components = stratified_components(program)
+            self._component_rules: List[List[Rule]] = [
+                [rule for view in component for rule in program.rules_for(view)]
+                for component in self._components
+            ]
+        else:
+            self._components = []
+            self._component_rules = []
+        self._view_names = (
+            frozenset(program.view_names()) if program is not None else frozenset()
+        )
+        # Caller-supplied facts living in view relations: they seed the
+        # fixpoint like derived facts but survive negation rebuilds.
+        self._seeded: Set[Atom] = set()
+        # Facts at generations >= _synced_generation are not yet
+        # reflected in the view extents.
+        self._synced_generation = 0
+        self._fresh = True
+        if base is not None:
+            self.add_facts(base)
+            self.refresh()
+
+    # -- feeding -----------------------------------------------------------
+
+    def add_fact(self, fact: Atom) -> bool:
+        """Insert one base fact (views refresh lazily); True when new."""
+        if fact.relation in self._view_names:
+            self._seeded.add(fact)
+        return self._working.add(fact)
+
+    def add_facts(self, facts: Iterable[Atom]) -> int:
+        """Insert many base facts; returns how many were new."""
+        return sum(1 for fact in facts if self.add_fact(fact))
+
+    # -- maintenance -------------------------------------------------------
+
+    def _rule_plans(self, rule: Rule, key: int) -> DeltaPlans:
+        plans = self._plans.get(key)
+        if plans is None:
+            plans = DeltaPlans(rule.body, cache=self._cache, key=key)
+            self._plans[key] = plans
+        return plans
+
+    def refresh(self) -> "SemanticDatabase":
+        """Re-establish ``Υ(I)`` after insertions; no-op when synced."""
+        working = self._working
+        pending = working.facts_since(self._synced_generation)
+        if not pending and not self._fresh:
+            return self
+        initial = self._fresh
+        self._fresh = False
+        changed: Set[str] = {fact.relation for fact in pending}
+        rebuilding = False
+        for position, component in enumerate(self._components):
+            rules = self._component_rules[position]
+            referenced: Set[str] = set()
+            negated: Set[str] = set()
+            for rule in rules:
+                referenced |= rule.body_predicates()
+                negated |= rule.negated_body_predicates()
+            if initial:
+                # Cold materialization: one full pass per component (a
+                # delta pass would skip rules with atom-free bodies).
+                self._evaluate_component(position, full=True)
+                changed.update(component)
+            elif rebuilding or (negated & changed):
+                # Insertion is not monotone through negation: facts this
+                # stratum derived may have lost their justification.
+                # Rebuild it — and, since a rebuilt extent can shrink,
+                # every stratum above it — from scratch.
+                rebuilding = True
+                for view in component:
+                    for fact in list(working.facts(view)):
+                        if fact not in self._seeded:
+                            working.remove(fact)
+                self._evaluate_component(position, full=True)
+                changed.update(component)
+            elif referenced & changed:
+                before = working.version
+                self._evaluate_component(position, full=False)
+                if working.version != before:
+                    changed.update(component)
+            # else: nothing this component reads changed — its extents
+            # are already at fixpoint, skip it entirely.
+        self._synced_generation = working.bump_generation()
+        return self
+
+    def _evaluate_component(self, position: int, full: bool) -> None:
+        """Run one component to fixpoint, semi-naively.
+
+        ``full`` seeds the loop with a complete pass over every rule
+        (initial materialization and negation-forced rebuilds);
+        otherwise the first delta window covers exactly the facts
+        inserted since the last refresh, so the pass costs O(|Δ|).
+        """
+        working = self._working
+        rules = self._component_rules[position]
+        base_key = position << 20
+        if full:
+            working.bump_generation()
+            window = GenerationWindow(working)
+            for offset, rule in enumerate(rules):
+                plans = self._rule_plans(rule, base_key + offset)
+                for binding in plans.matches(working):
+                    working.add(_head_fact(rule, binding))
+        else:
+            window = GenerationWindow(working, since=self._synced_generation)
+        while True:
+            delta = window.advance()
+            if not delta:
+                return
+            delta_relations = {fact.relation for fact in delta}
+            for offset, rule in enumerate(rules):
+                plans = self._rule_plans(rule, base_key + offset)
+                if rule.positive_body_predicates() & delta_relations:
+                    for binding in plans.delta_matches(working, delta):
+                        working.add(_head_fact(rule, binding))
+                elif rule.body_predicates() & delta_relations:
+                    # The delta is only visible through nested negation
+                    # (an even-depth — hence monotone and stratifiable —
+                    # recursive edge, e.g. ``not (not V(x))``).  Delta
+                    # anchoring joins positive atoms only and would miss
+                    # it, so re-run the rule in full.
+                    for binding in plans.matches(working):
+                        working.add(_head_fact(rule, binding))
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def instance(self) -> Instance:
+        """The live working instance ``I ∪ Υ(I)``.
+
+        Shared, not copied: treat it as read-only, or route further base
+        insertions through :meth:`add_facts` + :meth:`refresh` so the
+        view extents stay at fixpoint.
+        """
+        return self._working
+
+    def extract(
+        self,
+        only: Optional[Iterable[str]] = None,
+        include_base: Optional[Iterable[Atom]] = None,
+    ) -> Instance:
+        """Copy out view extents (optionally restricted to ``only``),
+        plus the given base facts — the shape :func:`materialize`
+        returns."""
+        if self.program is not None:
+            wanted = (
+                set(only) if only is not None else set(self.program.view_names())
+            )
+        else:
+            wanted = set()
+        result = Instance()
+        for view_name in wanted:
+            for fact in self._working.facts(view_name):
+                result.add(fact)
+        if include_base is not None:
+            for fact in include_base:
+                result.add(fact)
+        return result
+
+
 def materialize(
     program: ViewProgram,
     instance: Instance,
@@ -54,17 +293,46 @@ def materialize(
     are still evaluated, just not copied into the result).  With
     ``include_base`` the base facts are carried into the result, which
     yields the "semantic database" ``I ∪ Υ(I)``.
+
+    Semi-naive and fixpoint-complete: stratified programs with positive
+    recursion are supported (the old single-pass evaluator rejected or
+    under-computed them); recursion through negation raises
+    :class:`~repro.errors.RecursionError_`.
     """
-    program.validate()
-    order = evaluation_order(program)
-    # Working store: base facts plus each view extent as it is computed.
+    database = SemanticDatabase(program, base=instance)
+    return database.extract(
+        only=only, include_base=instance if include_base else None
+    )
+
+
+def materialize_naive(
+    program: ViewProgram,
+    instance: Instance,
+    include_base: bool = False,
+    only: Optional[Iterable[str]] = None,
+) -> Instance:
+    """Reference materializer: naive fixpoint, no delta restriction.
+
+    Evaluates every rule of each stratum against the full working
+    instance, over and over, until a whole pass adds nothing.  Obviously
+    correct and obviously slow — retained exclusively so the
+    differential suite can prove :func:`materialize` equivalent to it.
+    """
+    program.check_predicates()
+    components = stratified_components(program)
     working = Instance()
     for fact in instance:
         working.add(fact)
-    for view_name in order:
-        for rule in program.rules_for(view_name):
-            for binding in evaluate_body(rule.body, working):
-                working.add(_head_fact(rule, binding))
+    for component in components:
+        rules = [rule for view in component for rule in program.rules_for(view)]
+        while True:
+            added = 0
+            for rule in rules:
+                for binding in evaluate_body(rule.body, working):
+                    if working.add(_head_fact(rule, binding)):
+                        added += 1
+            if not added:
+                break
 
     wanted = set(only) if only is not None else set(program.view_names())
     result = Instance()

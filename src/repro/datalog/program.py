@@ -171,18 +171,31 @@ class ViewProgram:
 
     # -- validation ---------------------------------------------------------------
 
+    def check_predicates(self) -> None:
+        """Every body predicate must be a base relation or a defined view.
+
+        Raises :class:`UnknownPredicateError` otherwise.  This is the
+        reference check shared by :meth:`validate` (the rewriter's
+        strict, non-recursive contract) and the semi-naive evaluator
+        (which additionally accepts positive recursion).
+        """
+        for rule in self._rules:
+            for predicate in rule.body_predicates():
+                if not (self.is_base(predicate) or self.is_view(predicate)):
+                    raise UnknownPredicateError(predicate)
+
     def validate(self) -> None:
         """Check predicate references and non-recursiveness.
 
         Raises :class:`UnknownPredicateError` for undefined predicates and
         :class:`RecursionError_` (via stratify) for recursive programs.
+        This is the contract the *rewriter* needs (view unfolding must
+        terminate); evaluation alone only requires stratification, which
+        :func:`repro.datalog.stratify.stratified_components` checks.
         """
         from repro.datalog.stratify import check_nonrecursive
 
-        for rule in self._rules:
-            for predicate in rule.body_predicates():
-                if not (self.is_base(predicate) or self.is_view(predicate)):
-                    raise UnknownPredicateError(predicate)
+        self.check_predicates()
         check_nonrecursive(self)
 
     def __str__(self) -> str:

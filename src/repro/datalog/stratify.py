@@ -1,10 +1,19 @@
 """Dependency analysis of view programs: recursion check, strata, order.
 
-GROM requires *non-recursive* Datalog with negation.  Non-recursive
-programs are trivially stratified, but the machinery here still computes
-proper strata and a topological evaluation order, plus the predicate
-dependency graph with edge polarity — which the rewriter's static
-analysis reuses to locate "problematic" negation patterns.
+GROM's *rewriter* requires non-recursive Datalog with negation (view
+unfolding would not terminate otherwise), and :func:`check_nonrecursive`
+enforces exactly that.  The *evaluator* is more liberal: semi-naive
+materialization handles any **stratified** program — recursion through
+positive edges is evaluated to fixpoint, only recursion through
+negation is rejected.  :func:`stratified_components` computes the
+strongly-connected components of the view dependency graph in
+evaluation order and raises when a cycle crosses a negative edge.
+
+Non-recursive programs are trivially stratified; the machinery here
+still computes proper strata and a topological evaluation order, plus
+the predicate dependency graph with edge polarity — which the
+rewriter's static analysis reuses to locate "problematic" negation
+patterns.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ __all__ = [
     "check_nonrecursive",
     "evaluation_order",
     "strata",
+    "stratified_components",
     "depends_on",
 ]
 
@@ -126,6 +136,92 @@ def strata(program: ViewProgram) -> Dict[str, int]:
                 level = max(level, required)
         levels[view] = level
     return levels
+
+
+def stratified_components(program: ViewProgram) -> List[List[str]]:
+    """Mutually-recursive view groups in bottom-up evaluation order.
+
+    The strongly-connected components of the view-to-view dependency
+    graph, topologically sorted so every component's dependencies come
+    first.  A singleton component is an ordinary non-recursive view; a
+    larger component (or a self-loop) is a set of mutually recursive
+    views the semi-naive evaluator iterates to fixpoint *together*.
+
+    Raises :class:`RecursionError_` when a cycle crosses a negative edge
+    — recursion through negation has no stratified semantics (the
+    classical ``p ⇐ ¬p`` has no stable model the evaluator could
+    compute), so such programs are rejected outright.
+    """
+    adjacency = _adjacency(program)
+    names = program.view_names()
+
+    # Tarjan's SCC algorithm, iterative (view programs can be deep).
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work: List[Tuple[str, List[str]]] = [
+            (root, sorted(adjacency.get(root, ())))
+        ]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, pending = work[-1]
+            if pending:
+                nxt = pending.pop()
+                if nxt not in index_of:
+                    index_of[nxt] = lowlink[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, sorted(adjacency.get(nxt, ()))))
+                elif nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[nxt])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(sorted(component))
+
+    for name in sorted(names):
+        if name not in index_of:
+            strongconnect(name)
+
+    # Tarjan emits components in reverse topological order of the
+    # condensation when edges point at dependencies — i.e. dependencies
+    # first, which is exactly the bottom-up evaluation order we want.
+    membership = {
+        view: position
+        for position, component in enumerate(components)
+        for view in component
+    }
+    negative_edges = {
+        (head, predicate)
+        for head, predicate, negative in predicate_graph(program)
+        if negative and program.is_view(predicate)
+    }
+    for head, predicate in negative_edges:
+        if membership[head] == membership[predicate]:
+            raise RecursionError_(
+                f"view program is not stratified: {head!r} depends "
+                f"negatively on {predicate!r} within a recursive cycle"
+            )
+    return components
 
 
 def depends_on(program: ViewProgram, view: str) -> FrozenSet[str]:

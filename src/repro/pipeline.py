@@ -129,7 +129,15 @@ def run_rewritten(
     target = strip_auxiliary(chase_result.target, scenario.target_schema)
     verification = None
     if verify and chase_result.ok:
-        verification = verify_solution(scenario, source_instance, target)
+        # The chase input *is* the verifier's source side (I_S ∪ Υ_S(I_S))
+        # unless premises were unfolded — then the views were never
+        # materialized and the verifier builds them itself.
+        verification = verify_solution(
+            scenario,
+            source_instance,
+            target,
+            source_side=None if unfold_source_premises else chase_input,
+        )
     return PipelineResult(
         rewrite=rewritten,
         chase=chase_result,

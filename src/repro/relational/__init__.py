@@ -7,6 +7,7 @@ comparison predicates, and delta-restricted evaluation for chase rounds.
 """
 
 from repro.relational.csv_io import load_instance, save_instance
+from repro.relational.delta import DeltaPlans, GenerationWindow, PlanCache
 from repro.relational.instance import Instance
 from repro.relational.query import evaluate, evaluate_delta, exists
 from repro.relational.schema import Attribute, FunctionalDependency, Relation, Schema
@@ -15,8 +16,11 @@ from repro.relational.types import DataType
 __all__ = [
     "Attribute",
     "DataType",
+    "DeltaPlans",
     "FunctionalDependency",
+    "GenerationWindow",
     "Instance",
+    "PlanCache",
     "Relation",
     "Schema",
     "evaluate",

@@ -1,0 +1,274 @@
+"""Shared semi-naive delta-evaluation engine.
+
+This module is the incremental layer both chase enforcement and Datalog
+view materialization stand on.  PR 2 grew the machinery inside
+``chase/compiled.py`` — anchored delta plans, generation-windowed fact
+iteration, recompile-on-growth — and this module extracts it so the two
+consumers of the paper's hot loop share one implementation:
+
+* :class:`~repro.chase.compiled.CompiledDependency` finds premise
+  matches of tgds/egds/denials against the round's new facts, and
+* :func:`repro.datalog.evaluate.materialize` runs rule bodies against
+  each fixpoint iteration's new facts (classical semi-naive evaluation
+  of ``Υ(I)``).
+
+Three pieces:
+
+:class:`PlanCache`
+    Compiled-plan storage with the *recompile policy*.  A
+    :class:`~repro.relational.query.CompiledQuery` join order is chosen
+    from selectivity statistics captured at compile time; the cache
+    recompiles a plan when the data has outgrown those statistics —
+    either the watched relations doubled in size (the PR 2 rule, keeps
+    recompiles logarithmic) or a probed key-set's *bucket estimate*
+    (relation size over distinct keys) drifted by :data:`DRIFT_FACTOR`
+    in either direction.  Drift checks use only the per-index
+    distinct-key counts :class:`~repro.relational.instance.Instance`
+    maintains incrementally, so a cache fetch costs O(plan steps), not a
+    relation scan.
+
+:class:`DeltaPlans`
+    One conjunction's full plan plus one *anchored* plan per positive
+    atom.  ``delta_matches`` implements the delta-join: for each atom
+    whose relation gained facts, evaluate with that atom first and
+    restricted to the delta, then deduplicate bindings across anchors.
+    Every match found this way uses at least one delta fact, which is
+    exactly the semi-naive guarantee (no old-old recombination).
+
+:class:`GenerationWindow`
+    A window over an instance's per-generation insertion log.  ``advance``
+    returns the facts inserted since the window last moved and bumps the
+    instance's generation, so consumers iterate "what changed since I
+    last looked" in O(|delta|) without materializing snapshots.
+
+All three respect :func:`repro.relational.query.reference_evaluator`
+mode, falling back to the materialized reference evaluator so the
+differential suites compare the full incremental pipeline against the
+naive one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.logic.atoms import Atom, Conjunction
+from repro.logic.terms import Term, Variable
+from repro.relational.instance import Instance
+from repro.relational import query as _query
+from repro.relational.query import (
+    Binding,
+    CompiledQuery,
+    evaluate,
+    evaluate_delta,
+    exists,
+)
+
+__all__ = ["PlanCache", "DeltaPlans", "GenerationWindow"]
+
+
+class PlanCache:
+    """Compiled plans plus the shared recompile policy.
+
+    Plans are keyed by an arbitrary hashable ``key`` chosen by the
+    consumer (a dependency keys its premise, anchors and disjunct
+    probes; the materializer keys each rule's body and anchors).  A
+    cached plan is returned as long as its compile-time statistics are
+    still trustworthy:
+
+    * **growth** — the watched relations' total size is below twice the
+      size at compile time (with a floor so tiny instances never churn);
+    * **selectivity** — no probed key-set's bucket estimate
+      (``size / distinct keys``) moved by more than
+      :data:`DRIFT_FACTOR` either way.  Sizes can stay inside the
+      doubling budget while a key collapses (many duplicates on a
+      formerly near-unique column); the drift rule catches that case,
+      which pure size tracking cannot (ROADMAP "Plan statistics").
+    """
+
+    __slots__ = ("_plans",)
+
+    #: Below this many facts any plan is fine; avoids churn on tiny data.
+    RECOMPILE_FLOOR = 8
+
+    #: Bucket-estimate ratio past which a plan's join order is distrusted.
+    DRIFT_FACTOR = 4.0
+
+    def __init__(self) -> None:
+        # key -> (plan, total size at compile, per-step bucket estimates)
+        self._plans: Dict[
+            object,
+            Tuple[CompiledQuery, int, Dict[Tuple[str, Tuple[int, ...]], float]],
+        ] = {}
+
+    def plan(
+        self,
+        key: object,
+        body: Conjunction,
+        bound: frozenset,
+        instance: Instance,
+        first_atom: Optional[int] = None,
+    ) -> CompiledQuery:
+        entry = self._plans.get(key)
+        size = instance.size
+        current = sum(size(r) for r in {a.relation for a in body.atoms})
+        if entry is not None:
+            plan, compiled_at, estimates = entry
+            if current < 2 * max(compiled_at, self.RECOMPILE_FLOOR) and not (
+                self._drifted(estimates, instance)
+            ):
+                return plan
+        plan = CompiledQuery(body, bound, instance, first_atom)
+        self._plans[key] = (plan, current, self._snapshot(plan, instance))
+        return plan
+
+    def _snapshot(
+        self, plan: CompiledQuery, instance: Instance
+    ) -> Dict[Tuple[str, Tuple[int, ...]], float]:
+        """Bucket estimates of every index probe the plan performs."""
+        out: Dict[Tuple[str, Tuple[int, ...]], float] = {}
+        for step in plan.steps:
+            if not step.positions:
+                continue
+            keys = instance.key_count(step.relation, step.positions)
+            if keys:
+                out[(step.relation, step.positions)] = (
+                    instance.size(step.relation) / keys
+                )
+        return out
+
+    def _drifted(
+        self,
+        estimates: Dict[Tuple[str, Tuple[int, ...]], float],
+        instance: Instance,
+    ) -> bool:
+        """Whether any probed key-set's selectivity left its trust band.
+
+        Consults only statistics that are O(1) to read (live index key
+        counts or version-fresh cached scans) — a fetch must never scan.
+        """
+        for (relation, positions), compiled_estimate in estimates.items():
+            size = instance.size(relation)
+            if size < self.RECOMPILE_FLOOR:
+                continue
+            keys = instance.cached_key_count(relation, positions)
+            if not keys:
+                continue
+            estimate = size / keys
+            low, high = sorted((estimate, max(compiled_estimate, 1.0)))
+            if high >= low * self.DRIFT_FACTOR:
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+class DeltaPlans:
+    """Full and per-anchor delta plans for one conjunction.
+
+    ``bound`` names the variables a runtime seed will always bind (the
+    chase seeds satisfaction probes with premise variables; rule bodies
+    bind nothing).  Plans live in a :class:`PlanCache` — pass a shared
+    one to give several conjunctions (e.g. all plans of one dependency)
+    a single recompile policy, or omit it for a private cache.
+    """
+
+    __slots__ = ("body", "bound", "_cache", "_key")
+
+    def __init__(
+        self,
+        body: Conjunction,
+        bound: Iterable[Variable] = (),
+        cache: Optional[PlanCache] = None,
+        key: object = None,
+    ) -> None:
+        self.body = body
+        self.bound = frozenset(bound)
+        self._cache = cache if cache is not None else PlanCache()
+        self._key = key if key is not None else id(self)
+
+    # -- evaluation --------------------------------------------------------
+
+    def matches(
+        self, instance: Instance, seed: Optional[Binding] = None
+    ) -> List[Binding]:
+        """All bindings of the body (no delta restriction)."""
+        if _query.reference_mode_active():
+            return evaluate(self.body, instance, seed=seed)
+        plan = self._cache.plan((self._key, "full"), self.body, self.bound, instance)
+        return list(plan.bindings(instance, seed))
+
+    def delta_matches(
+        self,
+        instance: Instance,
+        delta: Set[Atom],
+        seed: Optional[Binding] = None,
+    ) -> List[Binding]:
+        """Bindings using at least one ``delta`` fact (the semi-naive join).
+
+        One anchored plan per positive atom whose relation gained facts;
+        bindings are deduplicated across anchors (a match touching two
+        delta facts is found once per anchor).
+        """
+        if _query.reference_mode_active():
+            return evaluate_delta(self.body, instance, delta, seed=seed)
+        if not self.body.atoms:
+            return self.matches(instance, seed)
+        relations_in_delta = {fact.relation for fact in delta}
+        out: List[Binding] = []
+        seen: Set[Tuple[Tuple[Variable, Term], ...]] = set()
+        for anchor_index, anchor in enumerate(self.body.atoms):
+            if anchor.relation not in relations_in_delta:
+                continue
+            plan = self._cache.plan(
+                (self._key, "anchor", anchor_index),
+                self.body,
+                self.bound,
+                instance,
+                first_atom=anchor_index,
+            )
+            for binding in plan.bindings(instance, seed, delta=delta):
+                key = tuple(sorted(binding.items()))
+                if key not in seen:
+                    seen.add(key)
+                    out.append(binding)
+        return out
+
+    def exists(self, instance: Instance, seed: Optional[Binding] = None) -> bool:
+        """Whether the body has at least one match (short-circuits)."""
+        if _query.reference_mode_active():
+            return exists(self.body, instance, seed=seed)
+        plan = self._cache.plan((self._key, "full"), self.body, self.bound, instance)
+        return plan.exists(instance, seed)
+
+    def relations(self) -> frozenset:
+        """Relations of the positive atoms (delta anchors can only be these)."""
+        return frozenset(atom.relation for atom in self.body.atoms)
+
+
+class GenerationWindow:
+    """A moving window over an instance's insertion generations.
+
+    Each :meth:`advance` call returns the facts inserted since the
+    window last advanced (initially: since ``since``) and opens a fresh
+    generation, so facts the consumer inserts *after* the call land in
+    the next window.  This is the iteration discipline of both the chase
+    round loop and the semi-naive fixpoint loop: evaluate against the
+    previous iteration's insertions only.
+    """
+
+    __slots__ = ("instance", "_since")
+
+    def __init__(self, instance: Instance, since: Optional[int] = None) -> None:
+        self.instance = instance
+        self._since = instance.current_generation if since is None else since
+
+    def advance(self) -> Set[Atom]:
+        """Facts inserted since the last advance; opens a new generation."""
+        delta = set(self.instance.facts_since(self._since))
+        self._since = self.instance.bump_generation()
+        return delta
+
+    @property
+    def since(self) -> int:
+        return self._since

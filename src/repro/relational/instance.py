@@ -65,6 +65,11 @@ class Instance:
         # Per-relation write counters: index validity is per relation, so
         # writes to one relation never invalidate another's indexes.
         self._relation_versions: Dict[str, int] = defaultdict(int)
+        # Scan-derived distinct-key counts, stamped with the relation
+        # version they were computed at.  Live indexes supersede this
+        # cache (their key count is just len(index), maintained on every
+        # insert); the cache only serves key-sets nobody probes.
+        self._key_count_cache: Dict[_IndexKey, Tuple[int, int]] = {}
 
     # -- mutation ----------------------------------------------------------
 
@@ -243,20 +248,49 @@ class Instance:
 
         ``size(relation) / key_count`` approximates the bucket a probe on
         those positions will scan; the query planner uses it to prefer
-        near-key probes over low-cardinality ones.
+        near-key probes over low-cardinality ones, and the shared
+        recompile policy (:class:`repro.relational.delta.PlanCache`)
+        watches it for selectivity drift.
 
         Reuses a cached index when one is current, but never *builds*
         one: planning scores many candidate position sets that will never
         be probed, and a full index per candidate would be registered as
-        live and then maintained on every future insert.
+        live and then maintained on every future insert.  Scan results
+        are memoized against the relation's write version, so repeated
+        planner calls between writes cost O(1).
         """
         key: _IndexKey = (relation, tuple(positions))
-        if self._index_versions.get(key) == self._relation_versions[relation]:
+        version = self._relation_versions[relation]
+        if self._index_versions.get(key) == version:
             return len(self._indexes[key])
+        cached = self._key_count_cache.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
         seen: Set[Tuple[Term, ...]] = set()
         for fact in self._facts.get(relation, ()):
             seen.add(tuple(fact.terms[i] for i in key[1]))
+        self._key_count_cache[key] = (version, len(seen))
         return len(seen)
+
+    def cached_key_count(
+        self, relation: str, positions: Sequence[int]
+    ) -> Optional[int]:
+        """Distinct-key count if it is O(1) to read, else ``None``.
+
+        A live hash index *is* an incrementally-maintained distinct-key
+        count (``len(index)`` — :meth:`add` appends to it on every
+        insert), and a version-fresh scan memo is equally free.  Callers
+        on hot paths — the plan cache's per-fetch drift check — use this
+        so statistics reads never degenerate into relation scans.
+        """
+        key: _IndexKey = (relation, tuple(positions))
+        version = self._relation_versions[relation]
+        if self._index_versions.get(key) == version:
+            return len(self._indexes[key])
+        cached = self._key_count_cache.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        return None
 
     # -- null handling -------------------------------------------------------------
 

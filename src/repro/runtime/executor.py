@@ -171,6 +171,11 @@ def _execute(
             record.deds = sum(1 for d in rewritten.dependencies if d.is_ded())
 
             step = time.perf_counter()
+            # run_rewritten materializes the source-side semantic
+            # database once and shares it between the chase input and
+            # the soundness verifier, so a verified task pays one
+            # materialization, not two (and the greedy ded sweep's k
+            # derived scenarios all chase over that same instance).
             outcome = run_rewritten(
                 scenario,
                 rewritten,

@@ -314,3 +314,75 @@ class TestPreexistingTarget:
         )
         assert result.ok
         assert result.target.size("T") == 1  # satisfied by preexisting fact
+
+
+class TestTriggerMemory:
+    """Oblivious-policy trigger dedup must not grow without bound."""
+
+    def make_memory(self, limit):
+        from repro.chase.engine import _TriggerMemory
+
+        return _TriggerMemory(limit)
+
+    def test_exact_below_limit(self):
+        memory = self.make_memory(100)
+        triggers = [(0, (c(i),)) for i in range(50)]
+        for trigger in triggers:
+            assert trigger not in memory
+            memory.add(trigger)
+        assert all(trigger in memory for trigger in triggers)
+        assert memory.exact_size == 50
+        assert memory.spilled == 0
+
+    def test_memory_growth_is_bounded_past_the_limit(self):
+        """Regression: 50k triggers through a limit of 1k must cap the
+        exact tier and park the rest in the fixed-size Bloom filter."""
+        memory = self.make_memory(1_000)
+        for i in range(50_000):
+            memory.add((0, (c(i),)))
+        assert memory.exact_size <= 1_000
+        assert memory.spilled == 49_000
+        # Exact tuples plus the (fixed) Bloom bits: bounded regardless
+        # of how many more triggers arrive.
+        ceiling = memory.approximate_bytes
+        for i in range(50_000, 60_000):
+            memory.add((0, (c(i),)))
+        assert memory.approximate_bytes == ceiling
+
+    def test_no_false_negatives_after_spilling(self):
+        memory = self.make_memory(10)
+        triggers = [(1, (c(i), c(i + 1))) for i in range(5_000)]
+        for trigger in triggers:
+            memory.add(trigger)
+        # Every fired trigger is still found: a trigger never fires twice.
+        assert all(trigger in memory for trigger in triggers)
+
+    def test_oblivious_chase_uses_bounded_memory(self):
+        """A long oblivious run keeps its exact tier at the config cap."""
+        dependency = tgd(
+            Conjunction(atoms=(Atom("S", (x,)),)), (Atom("T", (x, z)),)
+        )
+        source = Instance()
+        for i in range(200):
+            source.add_row("S", i)
+        engine = StandardChase(
+            [dependency],
+            ["S"],
+            config=ChaseConfig(policy="oblivious", oblivious_trigger_limit=50),
+        )
+        result = engine.run(source)
+        assert result.ok
+        assert result.target.size("T") == 200  # every trigger fired once
+        assert engine._trigger_memory.exact_size <= 50
+        assert engine._trigger_memory.spilled >= 150
+
+    def test_restricted_policy_unaffected_by_tiny_limit(self):
+        dependency = tgd(
+            Conjunction(atoms=(Atom("S", (x,)),)), (Atom("T", (x, z)),)
+        )
+        source = instance_with(*[("S", i) for i in range(40)])
+        result = chase(
+            [dependency], source, ["S"],
+            config=ChaseConfig(oblivious_trigger_limit=0),
+        )
+        assert result.ok and result.target.size("T") == 40

@@ -1,0 +1,102 @@
+"""The bench-trend comparator (benchmarks/trend.py)."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_TREND_PATH = (
+    pathlib.Path(__file__).parent.parent / "benchmarks" / "trend.py"
+)
+_spec = importlib.util.spec_from_file_location("grom_bench_trend", _TREND_PATH)
+trend = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("grom_bench_trend", trend)
+_spec.loader.exec_module(trend)
+
+
+def write_bench(directory, name, payload):
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestFlatten:
+    def test_numeric_leaves_with_paths(self):
+        flat = dict(trend.flatten({"a": {"b": 1.5, "c": 2}, "d": 3}))
+        assert flat == {"a.b": 1.5, "a.c": 2.0, "d": 3.0}
+
+    def test_booleans_and_strings_ignored(self):
+        flat = dict(trend.flatten({"quick": True, "label": "x", "v": 1}))
+        assert flat == {"v": 1.0}
+
+
+class TestDirection:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("by_size.2000.scratch_seconds", -1),
+            ("per_probe_seconds.1000", -1),
+            ("by_size.2000.speedup", 1),
+            ("tasks_per_second", 1),
+            ("facts", 0),
+        ],
+    )
+    def test_polarity(self, path, expected):
+        assert trend.direction(path) == expected
+
+
+class TestCompare:
+    def test_time_increase_past_threshold_is_a_regression(self):
+        previous = {"e9": {"per_probe_seconds.1000": 1.0}}
+        current = {"e9": {"per_probe_seconds.1000": 1.5}}
+        regressions, _ = trend.compare(current, previous, 0.2)
+        assert len(regressions) == 1
+        assert "REGRESSION" in regressions[0]
+
+    def test_speedup_drop_past_threshold_is_a_regression(self):
+        previous = {"e10": {"by_size.2000.speedup": 5.0}}
+        current = {"e10": {"by_size.2000.speedup": 3.0}}
+        regressions, _ = trend.compare(current, previous, 0.2)
+        assert len(regressions) == 1
+
+    def test_improvements_and_small_changes_pass(self):
+        previous = {"e9": {"per_probe_seconds.1000": 1.0, "speedup": 2.0}}
+        current = {"e9": {"per_probe_seconds.1000": 0.5, "speedup": 2.2}}
+        regressions, _ = trend.compare(current, previous, 0.2)
+        assert regressions == []
+
+    def test_unpolarized_metrics_move_without_flagging(self):
+        previous = {"e2": {"facts": 100.0}}
+        current = {"e2": {"facts": 300.0}}
+        regressions, movements = trend.compare(current, previous, 0.2)
+        assert regressions == []
+        assert len(movements) == 1
+
+    def test_new_benchmark_is_informational(self):
+        regressions, movements = trend.compare({"e10": {"v": 1.0}}, {}, 0.2)
+        assert regressions == []
+        assert "new benchmark" in movements[0]
+
+
+class TestMain:
+    def test_end_to_end_exit_codes(self, tmp_path):
+        current = tmp_path / "current"
+        previous = tmp_path / "previous"
+        current.mkdir()
+        previous.mkdir()
+        write_bench(previous, "e9_probe_cost", {"per_probe_seconds": {"1000": 1.0}})
+        write_bench(current, "e9_probe_cost", {"per_probe_seconds": {"1000": 1.1}})
+        assert trend.main([str(current), str(previous)]) == 0
+        write_bench(current, "e9_probe_cost", {"per_probe_seconds": {"1000": 2.0}})
+        assert trend.main([str(current), str(previous)]) == 1
+        # A 2x slowdown is fine under a generous threshold.
+        assert trend.main([str(current), str(previous), "--threshold", "1.5"]) == 0
+
+    def test_missing_previous_is_not_an_error(self, tmp_path):
+        current = tmp_path / "current"
+        current.mkdir()
+        (tmp_path / "previous").mkdir()
+        write_bench(current, "e2", {"v": 1.0})
+        assert trend.main([str(current), str(tmp_path / "previous")]) == 0
