@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Diff two sets of ``BENCH_*.json`` artifacts and flag regressions.
+"""Diff ``BENCH_*.json`` artifacts against a rolling history and flag
+regressions.
 
 CI uploads the quick-mode bench measurements of every PR as
-``BENCH_*.json`` files.  This script compares the current run against
-the previous one (restored from the workflow cache) and prints each
-metric's movement, flagging changes past a threshold (default 20%) in
-the metric's *bad* direction:
+``BENCH_*.json`` files and keeps the last few runs in the workflow
+cache (one ``run-*`` subdirectory per run).  This script compares the
+current run against the **per-metric median** of that history — a
+single noisy neighbour on a shared runner can no longer manufacture or
+mask a regression — and prints each metric's movement, flagging changes
+past a threshold (default 20%) in the metric's *bad* direction:
 
 * metrics whose key mentions time (``seconds``, ``_s``, ``per_probe``)
   regress by going **up**;
@@ -20,7 +23,14 @@ runners are noisy, and the artifact history is the ground truth).
 
 Usage::
 
-    python benchmarks/trend.py CURRENT_DIR PREVIOUS_DIR [--threshold 0.2]
+    python benchmarks/trend.py CURRENT_DIR HISTORY_DIR [--threshold 0.2]
+                                                       [--window 5]
+
+``HISTORY_DIR`` either contains ``BENCH_*.json`` directly (a single
+previous run — the pre-rolling layout, still supported) or ``run-*``
+subdirectories, of which the lexicographically-last ``--window`` are
+used (CI names them by zero-padded run number, so that is recency
+order).
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ import argparse
 import glob
 import json
 import os
+import statistics
 import sys
 from typing import Dict, Iterator, List, Tuple
 
@@ -73,6 +84,55 @@ def load_directory(directory: str) -> Dict[str, Dict[str, float]]:
     return out
 
 
+def load_history(
+    directory: str, window: int
+) -> List[Dict[str, Dict[str, float]]]:
+    """The last ``window`` runs under a history directory, oldest first.
+
+    A directory holding ``BENCH_*.json`` directly is a single run (the
+    pre-rolling cache layout); otherwise every ``run-*`` subdirectory is
+    one run, and the lexicographically-last ``window`` of them form the
+    baseline (CI names them by zero-padded run number).
+    """
+    flat = load_directory(directory)
+    if flat:
+        return [flat]
+    run_dirs = sorted(
+        path
+        for path in glob.glob(os.path.join(directory, "run-*"))
+        if os.path.isdir(path)
+    )
+    runs = []
+    for path in run_dirs[-max(1, window):]:
+        loaded = load_directory(path)
+        if loaded:
+            runs.append(loaded)
+    return runs
+
+
+def median_baseline(
+    runs: List[Dict[str, Dict[str, float]]],
+) -> Dict[str, Dict[str, float]]:
+    """Per-metric median across runs — the comparison baseline.
+
+    A metric's median is taken over the runs that recorded it, so a
+    newly-added benchmark needs no full window before it is tracked.
+    """
+    values: Dict[str, Dict[str, List[float]]] = {}
+    for run in runs:
+        for bench, metrics in run.items():
+            bucket = values.setdefault(bench, {})
+            for metric, value in metrics.items():
+                bucket.setdefault(metric, []).append(value)
+    return {
+        bench: {
+            metric: statistics.median(series)
+            for metric, series in metrics.items()
+        }
+        for bench, metrics in values.items()
+    }
+
+
 def compare(
     current: Dict[str, Dict[str, float]],
     previous: Dict[str, Dict[str, float]],
@@ -112,23 +172,36 @@ def compare(
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="directory with this run's BENCH_*.json")
-    parser.add_argument("previous", help="directory with the last run's BENCH_*.json")
+    parser.add_argument(
+        "previous",
+        help="history directory: run-* subdirectories (rolling window) or "
+        "a single run's BENCH_*.json (legacy layout)",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
         default=0.2,
         help="relative change flagged as a regression (default 0.2 = 20%%)",
     )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="how many most-recent history runs feed the median baseline "
+        "(default 5)",
+    )
     args = parser.parse_args(argv)
 
     current = load_directory(args.current)
-    previous = load_directory(args.previous)
+    runs = load_history(args.previous, args.window)
     if not current:
         print(f"trend: no BENCH_*.json under {args.current}", file=sys.stderr)
         return 0
-    if not previous:
+    if not runs:
         print("trend: no previous measurements; nothing to compare")
         return 0
+    previous = median_baseline(runs)
+    print(f"trend: baseline is the median of {len(runs)} run(s)")
 
     regressions, movements = compare(current, previous, args.threshold)
     for line in movements:

@@ -14,6 +14,15 @@ from repro.chase.disjunctive import (
     disjunctive_chase,
 )
 from repro.chase.engine import ChaseConfig, StandardChase, chase
+from repro.chase.parallel import (
+    MatchSharder,
+    ProcessSharder,
+    ThreadSharder,
+    chase_worker_budget,
+    create_sharder,
+    effective_parallelism,
+    parse_parallelism,
+)
 from repro.chase.result import ChaseResult, ChaseStats, ChaseStatus
 from repro.chase.termination import (
     is_weakly_acyclic,
@@ -26,6 +35,13 @@ __all__ = [
     "ChaseConfig",
     "StandardChase",
     "chase",
+    "MatchSharder",
+    "ThreadSharder",
+    "ProcessSharder",
+    "create_sharder",
+    "parse_parallelism",
+    "chase_worker_budget",
+    "effective_parallelism",
     "ChaseResult",
     "ChaseStats",
     "ChaseStatus",

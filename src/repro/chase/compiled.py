@@ -111,6 +111,41 @@ class CompiledDependency:
             return self._premise.matches(working)
         return self._premise.delta_matches(working, delta)
 
+    # -- sharded enumeration (the parallel chase's read-only surface) ------
+
+    @property
+    def premise_atoms(self):
+        """The premise's positive atoms (shard anchors index into these)."""
+        return self._premise.body.atoms
+
+    def anchor_indices(self, delta_relations: Set[str]) -> List[int]:
+        """Premise-atom positions whose relation gained delta facts —
+        exactly the anchors :meth:`premise_matches` would delta-join on."""
+        return [
+            index
+            for index, atom in enumerate(self._premise.body.atoms)
+            if atom.relation in delta_relations
+        ]
+
+    def warm_enumeration_plans(self, working: Instance) -> None:
+        """Pre-compile anchored premise plans and their indexes (called
+        pre-fork so replica workers inherit both copy-on-write)."""
+        self._premise.warm(working)
+
+    def anchor_matches(
+        self, working, anchor_index: int, restrict: Set[Atom]
+    ) -> List[Binding]:
+        """One shard of the premise's delta matches: the plan anchored at
+        ``anchor_index`` with the anchor restricted to ``restrict``.
+
+        ``working`` may be a live :class:`Instance` (thread workers) or a
+        :class:`~repro.relational.instance.ProbeView` over a replica
+        (process workers); the evaluator only touches the read surface.
+        Bindings are raw — the sharded merge deduplicates across anchors
+        and chunks before enforcement.
+        """
+        return self._premise.anchor_matches(working, anchor_index, restrict)
+
     # -- satisfaction ------------------------------------------------------
 
     def disjunct_satisfied(

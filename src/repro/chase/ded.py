@@ -33,6 +33,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.chase.compiled import compile_dependencies
 from repro.chase.engine import ChaseConfig, StandardChase
+from repro.chase.parallel import create_sharder
 from repro.chase.result import ChaseResult, ChaseStats, ChaseStatus
 from repro.logic.dependencies import Dependency, Disjunct
 from repro.relational.instance import Instance
@@ -152,39 +153,48 @@ class GreedyDedChase:
         aggregate = ChaseStats()
         last: Optional[ChaseResult] = None
         tried = 0
-        for selection in self.selections():
-            if tried >= self.max_scenarios:
-                break
-            tried += 1
-            dependencies, choice = self.scenario_for(selection)
-            engine = StandardChase(
-                dependencies,
-                self.source_relations,
-                self.config,
-                branch_choice=choice,
-                compiled=self._compiled,
-            )
-            result = engine.run(source_instance, target_instance)
-            aggregate = aggregate.merge(result.stats)
-            if result.ok:
-                result.stats = aggregate
-                result.stats.elapsed_seconds = time.perf_counter() - start
-                result.scenarios_tried = tried
-                result.branch_selection = {
-                    info.dependency.describe(): branch
-                    for info, branch in zip(self._infos, selection)
-                }
-                return result
-            last = result
-        if last is None:  # no deds and the standard part failed?  run it once
-            engine = StandardChase(
-                self.standard,
-                self.source_relations,
-                self.config,
-                compiled=self._compiled[: len(self.standard)],
-            )
-            last = engine.run(source_instance, target_instance)
-            tried = 1
+        # One sharder serves the whole selection sweep: every derived
+        # scenario shares the compiled plans, so the worker fan-out is
+        # configured once and re-armed per run (begin_run/end_run).
+        sharder = create_sharder(self.config.parallelism)
+        try:
+            for selection in self.selections():
+                if tried >= self.max_scenarios:
+                    break
+                tried += 1
+                dependencies, choice = self.scenario_for(selection)
+                engine = StandardChase(
+                    dependencies,
+                    self.source_relations,
+                    self.config,
+                    branch_choice=choice,
+                    compiled=self._compiled,
+                    sharder=sharder,
+                )
+                result = engine.run(source_instance, target_instance)
+                aggregate = aggregate.merge(result.stats)
+                if result.ok:
+                    result.stats = aggregate
+                    result.stats.elapsed_seconds = time.perf_counter() - start
+                    result.scenarios_tried = tried
+                    result.branch_selection = {
+                        info.dependency.describe(): branch
+                        for info, branch in zip(self._infos, selection)
+                    }
+                    return result
+                last = result
+            if last is None:  # no deds and the standard part failed?  run it once
+                engine = StandardChase(
+                    self.standard,
+                    self.source_relations,
+                    self.config,
+                    compiled=self._compiled[: len(self.standard)],
+                    sharder=sharder,
+                )
+                last = engine.run(source_instance, target_instance)
+                tried = 1
+        finally:
+            sharder.close()
         last.stats = aggregate.merge(ChaseStats())
         last.stats.elapsed_seconds = time.perf_counter() - start
         last.scenarios_tried = tried

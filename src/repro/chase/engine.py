@@ -18,6 +18,19 @@ re-evaluated against matches involving newly created facts.  Egd
 rewrites invalidate the delta bookkeeping, so a round that performed
 null rewriting forces a full re-evaluation round — simple and sound.
 
+Each dependency's round is an explicit two-phase pipeline:
+
+* **enumerate** — find every premise match (a read-only join over the
+  working instance).  This phase is delegated to a
+  :class:`~repro.chase.parallel.MatchSharder`, which may fan the work
+  across threads or forked replica processes
+  (``ChaseConfig.parallelism``); premise matches are independent of one
+  another until enforcement, so sharding them is safe.
+* **enforce** — sort the matches into canonical order, then serially
+  probe satisfaction and fire tgd/egd steps.  Because enforcement order
+  is canonical and serial, null invention and ``_NullMap`` unions are
+  bit-identical whichever sharder enumerated the matches.
+
 Premise negation is rejected unless it only mentions *source* relations
 (which the chase never modifies); that is exactly the shape the rewriter
 emits when asked to unfold source premises.
@@ -36,6 +49,7 @@ from repro.chase.compiled import (
     _ground_check,
     _resolve,
 )
+from repro.chase.parallel import MatchSharder, create_sharder
 from repro.chase.result import ChaseResult, ChaseStats, ChaseStatus
 from repro.logic.atoms import Atom
 from repro.logic.dependencies import Dependency, Disjunct
@@ -63,6 +77,13 @@ class ChaseConfig:
     Past the limit, fired triggers spill into a fixed-size Bloom filter,
     bounding the memory of long oblivious runs (see
     :class:`_TriggerMemory`)."""
+
+    parallelism: str = "serial"
+    """How the enumerate phase is sharded: ``serial`` (default),
+    ``thread[:N]`` or ``process[:N]`` — see
+    :func:`repro.chase.parallel.parse_parallelism`.  Enforcement is
+    always a serial, canonically-ordered merge, so every mode produces
+    bit-identical instances and null resolutions."""
 
 
 class _NullMap:
@@ -135,6 +156,12 @@ class _TriggerMemory:
     occasional conservative skip is an acceptable trade for bounded
     memory; the default restricted policy never consults this structure
     and stays exact.
+
+    Probe positions come from a *stable* digest of the trigger, not
+    Python's per-process-randomized ``hash()``: which triggers collide
+    (and are therefore conservatively skipped) must be identical across
+    runs, or two oblivious chases of the same input could produce
+    different instances once spilling starts.
     """
 
     __slots__ = ("_exact", "_limit", "_bits", "_spilled")
@@ -148,9 +175,33 @@ class _TriggerMemory:
         self._bits: Optional[bytearray] = None
         self._spilled = 0
 
+    @staticmethod
+    def _stable_digest(trigger) -> Tuple[int, int]:
+        """Two 64-bit hashes from a canonical trigger serialization.
+
+        Nulls serialize by id only (their ``hint`` is excluded from
+        equality, so it must be excluded here too).
+        """
+        import hashlib
+
+        parts: List[str] = [str(trigger[0])]
+        for term in trigger[1]:
+            if isinstance(term, Null):
+                parts.append(f"n{term.id}")
+            else:
+                parts.append(repr(term))
+        digest = hashlib.blake2b(
+            "\x1f".join(parts).encode("utf-8", "surrogatepass"),
+            digest_size=16,
+        ).digest()
+        return (
+            int.from_bytes(digest[:8], "big"),
+            int.from_bytes(digest[8:], "big"),
+        )
+
     def _probes(self, trigger) -> List[int]:
-        first = hash(trigger)
-        second = hash((0x9E3779B9, trigger)) | 1  # odd: visits all slots
+        first, second = self._stable_digest(trigger)
+        second |= 1  # odd: visits all slots
         mask = self.BLOOM_BITS - 1
         return [(first + i * second) & mask for i in range(self.HASHES)]
 
@@ -203,6 +254,7 @@ class StandardChase:
         config: Optional[ChaseConfig] = None,
         branch_choice: Optional[Dict[int, int]] = None,
         compiled: Optional[Sequence[CompiledDependency]] = None,
+        sharder: Optional[MatchSharder] = None,
     ) -> None:
         """``branch_choice`` maps a dependency's *position* in
         ``dependencies`` to the disjunct index to enforce, turning a ded
@@ -214,11 +266,17 @@ class StandardChase:
         ``compiled`` supplies pre-built :class:`CompiledDependency` plans
         aligned with ``dependencies`` — the greedy ded search passes the
         same plans to every derived scenario so nothing is re-planned
-        between selections."""
+        between selections.
+
+        ``sharder`` supplies an externally-owned match sharder (again the
+        greedy ded search, which reuses one across all derived
+        scenarios); when omitted, each :meth:`run` builds one from
+        ``config.parallelism`` and closes it on exit."""
         self.dependencies = list(dependencies)
         self.source_relations = frozenset(source_relations)
         self.config = config or ChaseConfig()
         self.branch_choice = dict(branch_choice or {})
+        self._sharder = sharder
         if compiled is not None and len(compiled) != len(self.dependencies):
             raise ChaseError(
                 "compiled plans must align one-to-one with dependencies"
@@ -272,14 +330,24 @@ class StandardChase:
         stats = ChaseStats()
         status = ChaseStatus.SUCCESS
         reason = ""
+        sharder = self._sharder
+        owned = sharder is None
+        if owned:
+            sharder = create_sharder(self.config.parallelism)
         try:
-            self._chase_rounds(working, factory, stats)
-        except ChaseFailure as failure:
-            status = ChaseStatus.FAILURE
-            reason = str(failure)
-        except ChaseNonTermination as overrun:
-            status = ChaseStatus.NONTERMINATION
-            reason = str(overrun)
+            sharder.begin_run(working, self.compiled)
+            try:
+                self._chase_rounds(working, factory, stats, sharder)
+            except ChaseFailure as failure:
+                status = ChaseStatus.FAILURE
+                reason = str(failure)
+            except ChaseNonTermination as overrun:
+                status = ChaseStatus.NONTERMINATION
+                reason = str(overrun)
+        finally:
+            sharder.end_run()
+            if owned:
+                sharder.close()
         stats.elapsed_seconds = time.perf_counter() - start
         target = self._extract_target(working)
         return ChaseResult(
@@ -288,6 +356,7 @@ class StandardChase:
             working=working if self.config.keep_working else None,
             stats=stats,
             failure_reason=reason,
+            sharding=sharder.describe(),
         )
 
     # -- internals ----------------------------------------------------------------
@@ -300,12 +369,17 @@ class StandardChase:
         return target
 
     def _chase_rounds(
-        self, working: Instance, factory: NullFactory, stats: ChaseStats
+        self,
+        working: Instance,
+        factory: NullFactory,
+        stats: ChaseStats,
+        sharder: MatchSharder,
     ) -> None:
         fired_triggers = _TriggerMemory(self.config.oblivious_trigger_limit)
         # Exposed for memory-growth regression tests.
         self._trigger_memory = fired_triggers
         delta: Optional[Set[Atom]] = None  # None = evaluate everything
+        since: Optional[int] = None  # generation the delta was taken from
         while True:
             stats.rounds += 1
             if stats.rounds > self.config.max_rounds:
@@ -313,10 +387,12 @@ class StandardChase:
                     f"exceeded {self.config.max_rounds} chase rounds"
                 )
             generation = working.bump_generation()
+            sharder.record_generation()
+            sharder.begin_round(delta, since)
             rewrites_this_round = 0
             for index, dependency in enumerate(self.dependencies):
                 rewrites_this_round += self._apply_dependency(
-                    index, dependency, working, factory, stats, delta,
+                    index, dependency, working, factory, stats, sharder,
                     fired_triggers,
                 )
             new_facts = set(working.facts_since(generation))
@@ -329,6 +405,7 @@ class StandardChase:
             # Null rewrites change fact identity, so the delta bookkeeping
             # is unreliable: fall back to a full round.
             delta = None if rewrites_this_round else new_facts
+            since = None if rewrites_this_round else generation
 
     def _apply_dependency(
         self,
@@ -337,19 +414,28 @@ class StandardChase:
         working: Instance,
         factory: NullFactory,
         stats: ChaseStats,
-        delta: Optional[Set[Atom]],
+        sharder: MatchSharder,
         fired_triggers: "_TriggerMemory",
     ) -> int:
-        """Process one dependency for one round; returns #null-rewrites."""
+        """Process one dependency for one round; returns #null-rewrites.
+
+        Phase 1 (*enumerate*) asks the sharder for every premise match —
+        possibly fanned across workers.  Phase 2 (*enforce*) replays the
+        matches serially in canonical order; when the sharder keeps
+        remote replicas, the phase's mutations are recorded so replicas
+        stay in lockstep with the working instance.
+        """
         compiled = self.compiled[index]
-        matches = compiled.premise_matches(working, delta)
+        matches = sharder.enumerate_matches(index)
         if not matches:
             return 0
         stats.premise_matches += len(matches)
         if not dependency.disjuncts:  # denial
             # A denial match is final: the premise is positive, and facts
             # are never retracted, so the violation cannot disappear.
-            binding = matches[0]
+            # Report the canonically-first match so the failure is
+            # identical whichever worker found it.
+            binding = min(matches, key=_binding_order)
             raise ChaseFailure(
                 f"denial {dependency.describe()} fired at "
                 f"{_render_binding(binding)}",
@@ -359,6 +445,10 @@ class StandardChase:
         null_map = _NullMap()
         rewrites = 0
         ordered = sorted(matches, key=_binding_order)
+        track_events = sharder.wants_replica_events
+        if track_events:
+            mark = working.bump_generation()
+            sharder.record_generation()
         for binding in ordered:
             resolved = {
                 variable: null_map.find(term) for variable, term in binding.items()
@@ -376,10 +466,13 @@ class StandardChase:
             self._enforce_disjunct(
                 dependency, chosen, resolved, working, factory, stats, null_map
             )
+        if track_events:
+            sharder.record_new_facts(working.facts_since(mark))
         if len(null_map):
             resolution = null_map.resolution()
             rewrites = working.apply_null_map(resolution)
             stats.null_rewrites += rewrites
+            sharder.record_null_map(resolution)
         return rewrites
 
     def _enforce_disjunct(

@@ -1,0 +1,618 @@
+"""Sharded premise-match enumeration for the parallel chase.
+
+The chase round loop is a two-phase pipeline: **enumerate** finds every
+premise match of a dependency (a read-only join over the working
+instance) and **enforce** replays the matches through the satisfaction
+probe and the tgd/egd steps in a canonical order.  Only the enumerate
+phase touches enough independent work to parallelize — premise matches
+of one dependency in one round are independent until enforcement — so
+this module shards exactly that phase behind one interface:
+
+:class:`MatchSharder`
+    The serial base: enumerate delegates straight to
+    :meth:`~repro.chase.compiled.CompiledDependency.premise_matches`.
+
+:class:`ThreadSharder`
+    Shards each round's (anchor, delta-chunk) units across a thread
+    pool reading the live working instance through its
+    :class:`~repro.relational.instance.ProbeView`.  Index builds are
+    guarded by the instance's lock; nothing mutates during enumerate.
+
+:class:`ProcessSharder`
+    Forks replica workers at ``begin_run`` (copy-on-write: the child
+    inherits the working instance and compiled plans for free) and keeps
+    each replica in lockstep by replaying the enforce phase's events —
+    generation bumps, inserted facts, applied null maps — so each round's
+    delta can be recomputed worker-side instead of shipped.
+
+Sharding is deterministic by construction, not by scheduling: a worker
+owns the anchor facts whose ``hash(fact) % workers`` equals its id (a
+partition, so every match is found exactly once per anchor), the merge
+deduplicates across anchors exactly like the serial delta join, and the
+engine sorts the merged matches into canonical order before enforcement
+— so null invention and ``_NullMap`` unions are bit-identical to the
+serial chase.
+
+The module also owns the **shared pool budget**: scenario-level batch
+workers and intra-chase shards draw from one ``os.cpu_count()`` budget
+(:func:`chase_worker_budget`), so turning both on never oversubscribes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ChaseError
+from repro.logic.atoms import Atom
+from repro.relational.instance import Instance
+from repro.relational.query import Binding
+
+__all__ = [
+    "MatchSharder",
+    "ThreadSharder",
+    "ProcessSharder",
+    "create_sharder",
+    "parse_parallelism",
+    "chase_worker_budget",
+    "effective_parallelism",
+]
+
+_MODE_ALIASES = {
+    "thread": "thread",
+    "threads": "thread",
+    "process": "process",
+    "processes": "process",
+    "fork": "process",
+}
+
+#: Below this many anchor facts a shard is not worth the fan-out.
+MIN_SHARD_FACTS = 32
+
+
+def default_workers() -> int:
+    """Worker count when a mode is requested without an explicit count."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def parse_parallelism(spec, default: Optional[int] = None) -> Tuple[str, int]:
+    """``spec`` → ``(mode, workers)`` with mode in serial/thread/process.
+
+    Accepted forms: ``None``/``"serial"`` (serial), ``"thread"`` /
+    ``"process"`` (worker count defaulting to ``default`` or this
+    machine's :func:`default_workers`), ``"thread:4"`` / ``"process:4"``
+    (explicit count), or a bare integer (process mode).  Anything that
+    resolves to one worker is serial.
+    """
+    if spec is None:
+        return ("serial", 1)
+    if isinstance(spec, int):
+        return ("process", spec) if spec > 1 else ("serial", 1)
+    text = str(spec).strip().lower()
+    if text in ("", "serial", "none", "off", "1"):
+        return ("serial", 1)
+    if text.isdigit():
+        count = int(text)
+        return ("process", count) if count > 1 else ("serial", 1)
+    mode, _, count_text = text.partition(":")
+    if mode not in _MODE_ALIASES:
+        known = "serial, thread[:N], process[:N]"
+        raise ChaseError(f"unknown parallelism {spec!r} (expected {known})")
+    if count_text:
+        try:
+            workers = int(count_text)
+        except ValueError:
+            raise ChaseError(
+                f"bad worker count in parallelism {spec!r}"
+            ) from None
+    else:
+        workers = default if default is not None else default_workers()
+    if workers <= 1:
+        return ("serial", 1)
+    return (_MODE_ALIASES[mode], workers)
+
+
+def chase_worker_budget(
+    jobs: int, requested: int, cpu_count: Optional[int] = None
+) -> int:
+    """Intra-chase workers one of ``jobs`` concurrent tasks may use.
+
+    Scenario-level batch workers and chase shards share one CPU budget:
+    ``jobs × chase_workers`` must not exceed ``cpu_count``, so each task
+    gets ``cpu_count // jobs`` shards (at least one — serial — and never
+    more than it asked for).
+    """
+    cpu = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    budget = max(1, cpu // max(1, jobs))
+    return max(1, min(requested, budget))
+
+
+def effective_parallelism(
+    spec, jobs: int = 1, cpu_count: Optional[int] = None
+) -> str:
+    """Canonical parallelism string after applying the shared budget.
+
+    A mode without an explicit worker count (``"thread"``) asks for the
+    whole per-task share of the budget.
+    """
+    cpu = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    mode, workers = parse_parallelism(spec, default=max(1, cpu // max(1, jobs)))
+    if mode == "serial":
+        return "serial"
+    workers = chase_worker_budget(jobs, workers, cpu)
+    if workers <= 1:
+        return "serial"
+    return f"{mode}:{workers}"
+
+
+def create_sharder(spec) -> "MatchSharder":
+    """Build the sharder a parallelism spec asks for.
+
+    Process mode degrades to threads when ``fork`` is unavailable or the
+    caller is itself a daemonic pool worker (which may not spawn
+    children) — the results are identical either way, only the speedup
+    differs.
+    """
+    mode, workers = parse_parallelism(spec)
+    if mode == "serial":
+        return MatchSharder()
+    if mode == "process":
+        can_fork = "fork" in multiprocessing.get_all_start_methods()
+        if can_fork and not multiprocessing.current_process().daemon:
+            return ProcessSharder(workers)
+        return ThreadSharder(workers)
+    return ThreadSharder(workers)
+
+
+def _partition_by_hash(
+    facts, workers: int
+) -> List[Set[Atom]]:
+    """Partition facts into ``workers`` chunks by ``hash % workers``.
+
+    The assignment is order-independent, so it needs no canonical sort
+    and every worker of one process tree computes the same partition.
+    """
+    chunks: List[Set[Atom]] = [set() for _ in range(workers)]
+    for fact in facts:
+        chunks[hash(fact) % workers].add(fact)
+    return chunks
+
+
+def _dedup_merge(shards: Sequence[List[Binding]]) -> List[Binding]:
+    """Union shard results, deduplicating bindings across anchors.
+
+    Mirrors the serial delta join's dedup (a match touching two delta
+    facts is found once per anchor); output order is irrelevant because
+    the engine sorts matches into canonical order before enforcement.
+    """
+    out: List[Binding] = []
+    seen: Set[tuple] = set()
+    for shard in shards:
+        for binding in shard:
+            key = tuple(sorted(binding.items()))
+            if key not in seen:
+                seen.add(key)
+                out.append(binding)
+    return out
+
+
+class MatchSharder:
+    """Serial match enumeration — the base of the sharder interface.
+
+    Lifecycle: ``begin_run(working, compiled)`` once per chase run, then
+    per round ``begin_round(delta, since)`` followed by one
+    ``enumerate_matches(index)`` per dependency, with the engine
+    reporting its mutations through the ``record_*`` hooks (used by the
+    replica-keeping process sharder; no-ops otherwise), then
+    ``end_run()``.  ``close()`` releases anything that outlives runs.
+    """
+
+    mode = "serial"
+    workers = 1
+
+    #: Whether the engine must report enforcement events (generation
+    #: bumps, new facts, null maps) so remote replicas can stay in sync.
+    wants_replica_events = False
+
+    def describe(self) -> str:
+        if self.workers <= 1:
+            return self.mode
+        return f"{self.mode}:{self.workers}"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin_run(self, working: Instance, compiled: Sequence) -> None:
+        self._working = working
+        self._compiled = compiled
+
+    def end_run(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    # -- per round ---------------------------------------------------------
+
+    def begin_round(
+        self, delta: Optional[Set[Atom]], since: Optional[int]
+    ) -> None:
+        self._delta = delta
+        self._since = since
+
+    def enumerate_matches(self, index: int) -> List[Binding]:
+        """Phase 1 of a dependency's round: every premise match."""
+        return self._compiled[index].premise_matches(self._working, self._delta)
+
+    # -- enforce-phase event hooks (replica maintenance) -------------------
+
+    def record_generation(self) -> None:
+        pass
+
+    def record_new_facts(self, facts: Sequence[Atom]) -> None:
+        pass
+
+    def record_null_map(self, resolution: Dict) -> None:
+        pass
+
+    # -- shared shard planning ---------------------------------------------
+
+    def _full_anchor(self, index: int) -> Optional[int]:
+        """Anchor atom for a full (non-delta) round: the largest relation
+        carries the most shardable scan work; ties break on position."""
+        atoms = self._compiled[index].premise_atoms
+        if not atoms:
+            return None
+        size = self._working.size
+        return min(
+            range(len(atoms)), key=lambda i: (-size(atoms[i].relation), i)
+        )
+
+
+class ThreadSharder(MatchSharder):
+    """Shards enumeration across threads over the live instance.
+
+    Threads read the working instance through its probe view while the
+    engine is between enforcement phases, so nothing mutates under them.
+    Python's GIL caps the speedup for these pure-Python joins — the
+    thread sharder exists as the portable/fallback tier and as the
+    determinism cross-check; fork-based :class:`ProcessSharder` is the
+    performance tier.
+    """
+
+    mode = "thread"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(2, int(workers))
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def begin_run(self, working: Instance, compiled: Sequence) -> None:
+        super().begin_run(working, compiled)
+        self._view = working.probe_view()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="chase-shard"
+        )
+
+    def end_run(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def enumerate_matches(self, index: int) -> List[Binding]:
+        compiled = self._compiled[index]
+        atoms = compiled.premise_atoms
+        if not atoms or self._pool is None:
+            return super().enumerate_matches(index)
+        units: List[Tuple[int, Set[Atom]]] = []
+        if self._delta is None:
+            anchor = self._full_anchor(index)
+            candidates = self._working.facts(atoms[anchor].relation)
+            if len(candidates) < MIN_SHARD_FACTS:
+                return super().enumerate_matches(index)
+            units = [
+                (anchor, chunk)
+                for chunk in _partition_by_hash(candidates, self.workers)
+                if chunk
+            ]
+        else:
+            if len(self._delta) < MIN_SHARD_FACTS:
+                return super().enumerate_matches(index)
+            relations = {fact.relation for fact in self._delta}
+            anchors = compiled.anchor_indices(relations)
+            if not anchors:
+                return []
+            for anchor in anchors:
+                relation = atoms[anchor].relation
+                mine = [f for f in self._delta if f.relation == relation]
+                units.extend(
+                    (anchor, chunk)
+                    for chunk in _partition_by_hash(mine, self.workers)
+                    if chunk
+                )
+        view = self._view
+        futures = [
+            self._pool.submit(compiled.anchor_matches, view, anchor, chunk)
+            for anchor, chunk in units
+        ]
+        return _dedup_merge([future.result() for future in futures])
+
+
+# ---------------------------------------------------------------------------
+# Forked replica workers
+# ---------------------------------------------------------------------------
+
+
+def _replica_worker(conn, worker_id: int, worker_count: int, replica, compiled):
+    """Loop of one forked enumeration worker.
+
+    ``replica``/``compiled`` are copy-on-write images of the engine's
+    working instance and plans at ``begin_run`` time.  The parent keeps
+    the replica in lockstep by streaming the enforce phase's events
+    (generation bumps, fact inserts, null-map applications — all
+    deterministic operations), so each round's delta is recomputed here
+    from the mirrored generation window instead of being shipped.
+    """
+    view = replica.probe_view()
+    # The round's delta, frozen at the round's first enumeration (keyed
+    # by the generation it was taken from).  It must NOT be recomputed
+    # after same-round event replays: the parent chases every dependency
+    # of a round against the delta frozen at round start, so facts that
+    # earlier dependencies enforced this round belong to the *next*
+    # round's delta, not this one's.
+    delta_since: Optional[int] = None
+    delta_frozen: Set[Atom] = set()
+    try:
+        while True:
+            message = conn.recv()
+            op = message[0]
+            if op == "stop":
+                return
+            if op == "events":
+                for event in message[1]:
+                    kind = event[0]
+                    if kind == "bump":
+                        replica.bump_generation()
+                    elif kind == "facts":
+                        for fact in event[1]:
+                            replica.add(fact)
+                    else:  # "map"
+                        replica.apply_null_map(event[1])
+                continue
+            if op == "round":
+                # Freeze this round's delta *now*, before any of the
+                # round's enforcement events arrive: the parent sends
+                # this right after flushing the previous round's tail.
+                since = message[1]
+                if since != delta_since:
+                    delta_frozen = set(replica.facts_since(since))
+                    delta_since = since
+                continue
+            _, dep_index, spec = message
+            dependency = compiled[dep_index]
+            try:
+                out: List[Binding] = []
+                if spec[0] == "full":
+                    anchor = spec[1]
+                    relation = dependency.premise_atoms[anchor].relation
+                    chunk = {
+                        fact
+                        for fact in replica.facts(relation)
+                        if hash(fact) % worker_count == worker_id
+                    }
+                    if chunk:
+                        out = dependency.anchor_matches(view, anchor, chunk)
+                else:  # ("delta", since, anchors)
+                    _, since, anchors = spec
+                    if since != delta_since:
+                        # First enumeration of a new round: all of the
+                        # previous round's events have been replayed and
+                        # none of this round's, so facts_since matches
+                        # the parent's frozen delta exactly.
+                        delta_frozen = set(replica.facts_since(since))
+                        delta_since = since
+                    delta = delta_frozen
+                    for anchor in anchors:
+                        relation = dependency.premise_atoms[anchor].relation
+                        chunk = {
+                            fact
+                            for fact in delta
+                            if fact.relation == relation
+                            and hash(fact) % worker_count == worker_id
+                        }
+                        if chunk:
+                            out.extend(
+                                dependency.anchor_matches(view, anchor, chunk)
+                            )
+                conn.send(("ok", out))
+            except Exception as exc:  # report, keep serving
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+class ProcessSharder(MatchSharder):
+    """Shards enumeration across forked replica processes.
+
+    Forking at ``begin_run`` makes replica setup O(1) (copy-on-write
+    pages), and replaying enforcement events keeps per-round traffic at
+    O(|new facts|) down and O(|matches|) up — the joins themselves, the
+    expensive part, run with real CPU parallelism.  Any worker failure
+    degrades the rest of the run to serial enumeration; results are
+    unaffected because sharding only changes who finds a match.
+    """
+
+    mode = "process"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(2, int(workers))
+        self._connections: List = []
+        self._processes: List = []
+        self._pending: List[tuple] = []
+        self._broken = False
+
+    @property
+    def wants_replica_events(self) -> bool:
+        return not self._broken
+
+    def describe(self) -> str:
+        if self._broken:
+            # The rest of the run enumerated serially — don't let the
+            # result claim a fan-out that never happened.
+            return f"serial (degraded from process:{self.workers})"
+        return super().describe()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin_run(self, working: Instance, compiled: Sequence) -> None:
+        super().begin_run(working, compiled)
+        self._pending = []
+        self._broken = False
+        self._connections = []
+        self._processes = []
+        # Warm anchored plans and their hash indexes in the parent:
+        # forked replicas inherit them copy-on-write instead of each
+        # rebuilding the same indexes the serial chase builds once.
+        for dependency in compiled:
+            dependency.warm_enumeration_plans(working)
+        context = multiprocessing.get_context("fork")
+        try:
+            for worker_id in range(self.workers):
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=_replica_worker,
+                    args=(child_end, worker_id, self.workers, working, compiled),
+                    daemon=True,
+                    name=f"chase-replica-{worker_id}",
+                )
+                process.start()
+                child_end.close()
+                self._connections.append(parent_end)
+                self._processes.append(process)
+        except OSError:
+            self._teardown()
+            self._broken = True  # degrade: serial enumeration, same results
+
+    def end_run(self) -> None:
+        self._teardown()
+        self._pending = []
+
+    def close(self) -> None:
+        self._teardown()
+
+    def _teardown(self) -> None:
+        for conn in self._connections:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        self._connections = []
+        self._processes = []
+
+    def _degrade(self) -> None:
+        self._teardown()
+        self._broken = True
+
+    # -- enforce-phase events ----------------------------------------------
+
+    def record_generation(self) -> None:
+        if not self._broken:
+            self._pending.append(("bump",))
+
+    def record_new_facts(self, facts: Sequence[Atom]) -> None:
+        if not self._broken and facts:
+            self._pending.append(("facts", list(facts)))
+
+    def record_null_map(self, resolution: Dict) -> None:
+        if not self._broken and resolution:
+            self._pending.append(("map", dict(resolution)))
+
+    # -- per round ---------------------------------------------------------
+
+    def begin_round(
+        self, delta: Optional[Set[Atom]], since: Optional[int]
+    ) -> None:
+        super().begin_round(delta, since)
+        if (
+            self._broken
+            or not self._connections
+            or delta is None
+            or since is None
+            or len(delta) < MIN_SHARD_FACTS
+        ):
+            return
+        # Tell the workers to freeze the round's delta before any of
+        # this round's enforcement events reach them — a dependency
+        # handled serially in the parent (tiny or atom-less premise)
+        # may enforce facts before the first sharded enumeration, and
+        # those belong to the *next* round's delta.
+        try:
+            if self._pending:
+                events = self._pending
+                self._pending = []
+                for conn in self._connections:
+                    conn.send(("events", events))
+            for conn in self._connections:
+                conn.send(("round", since))
+        except (BrokenPipeError, OSError):
+            self._degrade()
+
+    # -- enumeration -------------------------------------------------------
+
+    def enumerate_matches(self, index: int) -> List[Binding]:
+        if self._broken or not self._connections:
+            return MatchSharder.enumerate_matches(self, index)
+        compiled = self._compiled[index]
+        atoms = compiled.premise_atoms
+        if not atoms:
+            return MatchSharder.enumerate_matches(self, index)
+        if self._delta is None:
+            if len(self._working) < MIN_SHARD_FACTS:
+                return MatchSharder.enumerate_matches(self, index)
+            spec = ("full", self._full_anchor(index))
+        else:
+            if len(self._delta) < MIN_SHARD_FACTS or self._since is None:
+                return MatchSharder.enumerate_matches(self, index)
+            relations = {fact.relation for fact in self._delta}
+            anchors = compiled.anchor_indices(relations)
+            if not anchors:
+                return []
+            spec = ("delta", self._since, anchors)
+        try:
+            if self._pending:
+                events = self._pending
+                self._pending = []
+                for conn in self._connections:
+                    conn.send(("events", events))
+            for conn in self._connections:
+                conn.send(("enum", index, spec))
+            shards: List[List[Binding]] = []
+            for conn in self._connections:
+                status, payload = conn.recv()
+                if status != "ok":
+                    raise ChaseError(
+                        f"parallel chase worker failed during enumeration: "
+                        f"{payload}"
+                    )
+                shards.append(payload)
+        except (BrokenPipeError, EOFError, OSError):
+            # A worker died: replicas are unrecoverable for this run, so
+            # finish with serial enumeration (identical results).
+            self._degrade()
+            return MatchSharder.enumerate_matches(self, index)
+        if spec[0] == "full":
+            # Chunks of one anchor partition the anchor facts, and a full
+            # plan yields each binding exactly once — no dedup needed.
+            return [binding for shard in shards for binding in shard]
+        return _dedup_merge(shards)

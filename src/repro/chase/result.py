@@ -73,6 +73,9 @@ class ChaseResult:
     failure_reason: str = ""
     branch_selection: Optional[Dict[str, int]] = None
     scenarios_tried: int = 0
+    sharding: str = "serial"
+    """How the enumerate phase was sharded (``serial``, ``thread:N`` or
+    ``process:N`` — see :mod:`repro.chase.parallel`)."""
 
     @property
     def ok(self) -> bool:

@@ -66,6 +66,11 @@ def build_argument_parser() -> argparse.ArgumentParser:
         help="budget for the greedy ded chase",
     )
     chase_cmd.add_argument(
+        "--parallelism", default="serial", metavar="MODE",
+        help="shard premise-match enumeration: serial (default), "
+             "thread[:N] or process[:N]",
+    )
+    chase_cmd.add_argument(
         "--no-verify", action="store_true", help="skip the soundness check"
     )
     chase_cmd.add_argument(
@@ -93,6 +98,11 @@ def build_argument_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes (1 = serial; >1 uses a multiprocessing pool)",
+    )
+    batch.add_argument(
+        "--parallelism", default="serial", metavar="MODE",
+        help="intra-chase sharding per task (serial, thread[:N], "
+             "process[:N]); capped so jobs x chase workers <= cpu count",
     )
     batch.add_argument(
         "--timeout", type=float, default=None,
@@ -176,16 +186,25 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
 
 
 def _cmd_chase(args: argparse.Namespace) -> int:
+    from repro.chase.engine import ChaseConfig
+
     document = _load(args.scenario)
     source = _source_instance(document, args.csv)
+    config = (
+        ChaseConfig(parallelism=args.parallelism)
+        if args.parallelism != "serial"
+        else None
+    )
     outcome = run_scenario(
         document.scenario,
         source,
         verify=not args.no_verify,
+        config=config,
         max_scenarios=args.max_scenarios,
     )
     print(f"rewriting: {outcome.rewrite!r}")
     print(f"chase:     {outcome.chase}")
+    print(f"sharding:  {outcome.chase.sharding}")
     if outcome.chase.branch_selection:
         print(f"branches:  {outcome.chase.branch_selection} "
               f"(after {outcome.chase.scenarios_tried} scenarios)")
@@ -244,6 +263,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     options = BatchOptions(
         jobs=args.jobs,
+        parallelism=args.parallelism,
         timeout=args.timeout,
         verify=not args.no_verify,
         max_scenarios=args.max_scenarios,

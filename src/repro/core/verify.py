@@ -19,10 +19,17 @@ target, so :class:`ScenarioVerifier` materializes it once (into a
 shared :class:`~repro.datalog.evaluate.SemanticDatabase`) and reuses it
 across every candidate — verifying k rewritings of one scenario costs
 one source materialization, not k.
+
+Per-dependency checks are independent read-only scans, so a verifier
+may fan them across a thread pool (``parallelism``); the pool draws
+from the same worker budget as the chase's match sharding (see
+:mod:`repro.chase.parallel`), and violations are merged back in
+dependency order so reports are identical to a serial check.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -192,10 +199,12 @@ class ScenarioVerifier:
         scenario: MappingScenario,
         source_instance: Instance,
         source_side: Optional[Instance] = None,
+        parallelism: Optional[str] = None,
     ) -> None:
         self.scenario = scenario
         self.source_instance = source_instance
         self._source_side = source_side
+        self.parallelism = parallelism
 
     @property
     def source_side(self) -> Instance:
@@ -214,20 +223,88 @@ class ScenarioVerifier:
         source_side = self.source_side
         target_side = semantic_target(self.scenario, target_instance)
 
-        for mapping in self.scenario.mappings:
-            report.premise_matches += _check_tgd(
-                mapping, source_side, target_side, report.violations, max_violations
-            )
-            report.mappings_checked += 1
+        checks: List[Tuple[str, Dependency]] = [
+            ("mapping", m) for m in self.scenario.mappings
+        ] + [("constraint", c) for c in self.scenario.target_constraints]
 
-        for constraint in self.scenario.target_constraints:
-            report.premise_matches += _check_constraint(
-                constraint, target_side, report.violations, max_violations
+        workers = self._check_workers(len(checks))
+        if workers > 1:
+            outcomes = self._run_parallel(
+                checks, source_side, target_side, max_violations, workers
             )
-            report.constraints_checked += 1
+        else:
+            outcomes = [
+                self._run_check(kind, dependency, source_side, target_side,
+                                max_violations)
+                for kind, dependency in checks
+            ]
+
+        # Merge in dependency order so the report (and its violation
+        # prefix under the cap) is identical to a serial check.
+        for (kind, _dependency), (matched, violations) in zip(checks, outcomes):
+            report.premise_matches += matched
+            if kind == "mapping":
+                report.mappings_checked += 1
+            else:
+                report.constraints_checked += 1
+            take = max_violations - len(report.violations)
+            if take > 0:
+                report.violations.extend(violations[:take])
 
         report.ok = not report.violations
         return report
+
+    def _check_workers(self, checks: int) -> int:
+        """Thread-pool width for this verify call (1 = stay serial)."""
+        if self.parallelism is None or checks < 2:
+            return 1
+        from repro.chase.parallel import parse_parallelism
+
+        mode, workers = parse_parallelism(self.parallelism)
+        if mode == "serial":
+            return 1
+        # Dependency checks share one address space; threads suffice for
+        # both the "thread" and "process" chase modes.
+        return min(workers, checks)
+
+    @staticmethod
+    def _run_check(
+        kind: str,
+        dependency: Dependency,
+        source_side: Instance,
+        target_side: Instance,
+        max_violations: int,
+    ) -> Tuple[int, List[Violation]]:
+        violations: List[Violation] = []
+        if kind == "mapping":
+            matched = _check_tgd(
+                dependency, source_side, target_side, violations, max_violations
+            )
+        else:
+            matched = _check_constraint(
+                dependency, target_side, violations, max_violations
+            )
+        return matched, violations
+
+    def _run_parallel(
+        self,
+        checks: List[Tuple[str, Dependency]],
+        source_side: Instance,
+        target_side: Instance,
+        max_violations: int,
+        workers: int,
+    ) -> List[Tuple[int, List[Violation]]]:
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="verify-shard"
+        ) as pool:
+            futures = [
+                pool.submit(
+                    self._run_check, kind, dependency, source_side,
+                    target_side, max_violations,
+                )
+                for kind, dependency in checks
+            ]
+            return [future.result() for future in futures]
 
 
 def verify_solution(
@@ -236,6 +313,7 @@ def verify_solution(
     target_instance: Instance,
     max_violations: int = 100,
     source_side: Optional[Instance] = None,
+    parallelism: Optional[str] = None,
 ) -> VerificationReport:
     """Check that ``target_instance`` solves the original semantic scenario.
 
@@ -245,7 +323,10 @@ def verify_solution(
     lets callers that already hold ``I_S ∪ Υ_S(I_S)`` (the pipeline's
     chase input) skip its re-materialization; verifying several
     candidates is cheaper still through :class:`ScenarioVerifier`.
+    ``parallelism`` fans the per-dependency checks across threads (same
+    spec syntax and worker budget as the chase).
     """
     return ScenarioVerifier(
-        scenario, source_instance, source_side=source_side
+        scenario, source_instance, source_side=source_side,
+        parallelism=parallelism,
     ).verify(target_instance, max_violations=max_violations)

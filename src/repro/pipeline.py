@@ -131,12 +131,14 @@ def run_rewritten(
     if verify and chase_result.ok:
         # The chase input *is* the verifier's source side (I_S ∪ Υ_S(I_S))
         # unless premises were unfolded — then the views were never
-        # materialized and the verifier builds them itself.
+        # materialized and the verifier builds them itself.  The verifier
+        # inherits the chase's parallelism spec (one worker budget).
         verification = verify_solution(
             scenario,
             source_instance,
             target,
             source_side=None if unfold_source_premises else chase_input,
+            parallelism=config.parallelism if config is not None else None,
         )
     return PipelineResult(
         rewrite=rewritten,

@@ -234,6 +234,51 @@ class DeltaPlans:
                     out.append(binding)
         return out
 
+    def anchor_matches(
+        self,
+        instance: Instance,
+        anchor_index: int,
+        restrict: Set[Atom],
+        seed: Optional[Binding] = None,
+    ) -> List[Binding]:
+        """Raw bindings of the plan anchored at one atom, the anchor
+        restricted to ``restrict``.
+
+        This is one shard of :meth:`delta_matches`: the union over all
+        anchors (whose relation gained facts) of the union over a
+        partition of the delta equals the full delta-match set.  No
+        cross-anchor deduplication happens here — the caller merging
+        shards owns it — which is what lets the parallel chase hand each
+        (anchor, delta-chunk) pair to a different worker.
+        """
+        plan = self._cache.plan(
+            (self._key, "anchor", anchor_index),
+            self.body,
+            self.bound,
+            instance,
+            first_atom=anchor_index,
+        )
+        return list(plan.bindings(instance, seed, delta=restrict))
+
+    def warm(self, instance: Instance) -> None:
+        """Compile every anchored plan and build the indexes it probes.
+
+        The parallel chase calls this on the parent *before* forking its
+        replica workers: plans and hash indexes are inherited
+        copy-on-write, so N workers don't each rebuild the same indexes
+        that the serial chase builds once.
+        """
+        for anchor_index in range(len(self.body.atoms)):
+            plan = self._cache.plan(
+                (self._key, "anchor", anchor_index),
+                self.body,
+                self.bound,
+                instance,
+                first_atom=anchor_index,
+            )
+            for step in plan.steps:
+                instance.index(step.relation, step.positions)
+
     def exists(self, instance: Instance, seed: Optional[Binding] = None) -> bool:
         """Whether the body has at least one match (short-circuits)."""
         if _query.reference_mode_active():

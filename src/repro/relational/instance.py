@@ -14,6 +14,7 @@ the original system: the chase and the query evaluator only need
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import (
     Dict,
@@ -33,7 +34,7 @@ from repro.logic.atoms import Atom
 from repro.logic.terms import Constant, Null, Term
 from repro.relational.schema import Schema
 
-__all__ = ["Instance"]
+__all__ = ["Instance", "ProbeView"]
 
 _IndexKey = Tuple[str, Tuple[int, ...]]
 
@@ -70,6 +71,21 @@ class Instance:
         # cache (their key count is just len(index), maintained on every
         # insert); the cache only serves key-sets nobody probes.
         self._key_count_cache: Dict[_IndexKey, Tuple[int, int]] = {}
+        # Guards lazy index construction only.  Reads of a built index
+        # are lock-free; the parallel chase fans read-only enumeration
+        # across threads, and two threads lazily building the same index
+        # must not both register it as live (add() would then append new
+        # facts to it twice).
+        self._index_lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_index_lock"]  # locks do not pickle
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._index_lock = threading.Lock()
 
     # -- mutation ----------------------------------------------------------
 
@@ -233,15 +249,20 @@ class Instance:
         key: _IndexKey = (relation, tuple(positions))
         if self._index_versions.get(key) == self._relation_versions[relation]:
             return self._indexes[key]
-        built: Dict[Tuple[Term, ...], List[Atom]] = defaultdict(list)
-        for fact in self._facts.get(relation, ()):
-            built[tuple(fact.terms[i] for i in key[1])].append(fact)
-        self._indexes[key] = built
-        self._index_versions[key] = self._relation_versions[relation]
-        live = self._live_index_keys.setdefault(relation, [])
-        if key not in live:
-            live.append(key)
-        return built
+        with self._index_lock:
+            # Re-check under the lock: another thread may have built the
+            # index while this one waited (parallel match enumeration).
+            if self._index_versions.get(key) == self._relation_versions[relation]:
+                return self._indexes[key]
+            built: Dict[Tuple[Term, ...], List[Atom]] = defaultdict(list)
+            for fact in self._facts.get(relation, ()):
+                built[tuple(fact.terms[i] for i in key[1])].append(fact)
+            self._indexes[key] = built
+            self._index_versions[key] = self._relation_versions[relation]
+            live = self._live_index_keys.setdefault(relation, [])
+            if key not in live:
+                live.append(key)
+            return built
 
     def key_count(self, relation: str, positions: Sequence[int]) -> int:
         """Distinct value-tuples at ``positions`` — a selectivity estimate.
@@ -384,3 +405,77 @@ class Instance:
 
     def __repr__(self) -> str:
         return f"Instance({len(self)} facts, {len(self.relations())} relations)"
+
+    def probe_view(self) -> "ProbeView":
+        """A read-only view of this instance for parallel enumeration."""
+        return ProbeView(self)
+
+
+class ProbeView:
+    """Read-only facade over an :class:`Instance` for chase workers.
+
+    The parallel chase's enumerate phase hands the working instance to
+    worker threads (or, via a forked replica, worker processes).  Workers
+    must never mutate it — enforcement is the serial merge phase's job —
+    so they receive this view, which exposes exactly the query surface
+    the compiled evaluator and plan cache consume (hash indexes, sizes,
+    key counts, generation-window reads) and nothing that writes facts.
+
+    Lazy *internal* caching (index builds, key-count memos) still happens
+    on the underlying instance; those paths are idempotent and guarded by
+    the instance's index lock, so concurrent readers are safe.
+    """
+
+    __slots__ = ("_instance",)
+
+    def __init__(self, instance: Instance) -> None:
+        self._instance = instance
+
+    # -- the query surface (delegates) -------------------------------------
+
+    def index(
+        self, relation: str, positions: Sequence[int]
+    ) -> Mapping[Tuple[Term, ...], List[Atom]]:
+        return self._instance.index(relation, positions)
+
+    def size(self, relation: Optional[str] = None) -> int:
+        return self._instance.size(relation)
+
+    def key_count(self, relation: str, positions: Sequence[int]) -> int:
+        return self._instance.key_count(relation, positions)
+
+    def cached_key_count(
+        self, relation: str, positions: Sequence[int]
+    ) -> Optional[int]:
+        return self._instance.cached_key_count(relation, positions)
+
+    def facts(self, relation: str) -> FrozenSet[Atom]:
+        return self._instance.facts(relation)
+
+    def facts_since(
+        self, generation: int, relation: Optional[str] = None
+    ) -> List[Atom]:
+        return self._instance.facts_since(generation, relation)
+
+    def relations(self) -> List[str]:
+        return self._instance.relations()
+
+    @property
+    def current_generation(self) -> int:
+        return self._instance.current_generation
+
+    @property
+    def version(self) -> int:
+        return self._instance.version
+
+    def __contains__(self, fact: Atom) -> bool:
+        return fact in self._instance
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._instance)
+
+    def __len__(self) -> int:
+        return len(self._instance)
+
+    def __repr__(self) -> str:
+        return f"ProbeView({self._instance!r})"

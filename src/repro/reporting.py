@@ -102,6 +102,7 @@ def batch_summary_table(report: "BatchReport") -> Table:
     table = Table(f"Batch run: {report.corpus}", ["metric", "value"])
     table.add("scenarios", summary.total)
     table.add("mode", f"{report.mode} (jobs={report.jobs})")
+    table.add("chase sharding", report.parallelism)
     table.add("succeeded", summary.succeeded)
     table.add("chase failures", summary.failed)
     table.add("nonterminated", summary.nonterminated)

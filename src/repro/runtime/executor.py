@@ -21,13 +21,16 @@ Robustness over raw speed:
 from __future__ import annotations
 
 import multiprocessing
+import os
 import signal
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.chase.engine import ChaseConfig
+from repro.chase.parallel import effective_parallelism
 from repro.core.rewriter import rewrite
 from repro.pipeline import run_rewritten
 from repro.runtime.cache import CacheStats, RewriteCache
@@ -50,6 +53,11 @@ class BatchOptions:
 
     jobs: int = 1
     """Worker processes; 1 means serial in-process execution."""
+    parallelism: str = "serial"
+    """Requested *intra-chase* sharding per task (``serial``,
+    ``thread[:N]``, ``process[:N]``).  :func:`run_batch` caps it against
+    the shared CPU budget — ``jobs × chase workers ≤ os.cpu_count()`` —
+    so scenario-level and intra-chase parallelism never oversubscribe."""
     timeout: Optional[float] = None
     """Per-task wall-clock budget in seconds (needs ``SIGALRM``)."""
     verify: bool = True
@@ -73,6 +81,8 @@ class BatchReport:
     """``serial`` or ``pool``; serial runs note a degradation reason."""
     jobs: int
     note: str = ""
+    parallelism: str = "serial"
+    """Effective intra-chase sharding after the shared worker budget."""
     cache_stats: Optional[CacheStats] = None
     """Parent-process cache counters (serial runs only; pooled workers
     keep their own — use the per-record ``cache_hit`` flags, which are
@@ -80,7 +90,11 @@ class BatchReport:
 
     @property
     def summary(self) -> BatchSummary:
-        return summarize(self.records, wall_seconds=self.wall_seconds)
+        return summarize(
+            self.records,
+            wall_seconds=self.wall_seconds,
+            parallelism=self.parallelism,
+        )
 
 
 class _TaskTimeout(Exception):
@@ -139,6 +153,12 @@ def _execute(
         label=spec.label,
         family=spec.family,
         params=spec.params_dict(),
+        parallelism=options.parallelism,
+    )
+    chase_config = (
+        ChaseConfig(parallelism=options.parallelism)
+        if options.parallelism != "serial"
+        else None
     )
     start = time.perf_counter()
     try:
@@ -181,6 +201,7 @@ def _execute(
                 rewritten,
                 instance,
                 verify=options.verify,
+                config=chase_config,
                 max_scenarios=options.max_scenarios,
             )
             record.chase_seconds = time.perf_counter() - step
@@ -286,19 +307,33 @@ def run_batch(
     options = options or BatchOptions()
     specs = list(corpus)
     jobs = max(1, int(options.jobs))
+    cpu_count = os.cpu_count() or 1
 
     note = ""
     records: Optional[List[TaskRecord]] = None
     start = time.perf_counter()
     mode = "serial"
+    parallelism = "serial"
     if jobs > 1 and len(specs) > 1:
+        # Shared pool budget: every concurrent task's chase shards come
+        # out of the same cpu_count, so jobs × chase workers never
+        # oversubscribes the machine.
+        parallelism = effective_parallelism(options.parallelism, jobs, cpu_count)
+        if parallelism.startswith("process"):
+            # Pool workers are daemonic and may not fork chase replicas;
+            # say so up front instead of silently degrading per task.
+            parallelism = "thread" + parallelism[len("process"):]
+            note = "pool workers cannot fork; intra-chase sharding uses threads"
+        pooled_options = replace(options, parallelism=parallelism)
         try:
-            records = _run_pool(corpus.name, specs, options, jobs)
+            records = _run_pool(corpus.name, specs, pooled_options, jobs)
             mode = "pool"
         except _PoolUnavailable as exc:
             note = f"{exc}; degraded to serial"
             records = None
     if records is None:
+        parallelism = effective_parallelism(options.parallelism, 1, cpu_count)
+        serial_options = replace(options, parallelism=parallelism)
         if cache is None and options.use_cache:
             cache = RewriteCache(
                 capacity=options.cache_capacity, directory=options.cache_dir
@@ -306,7 +341,7 @@ def run_batch(
         elif not options.use_cache:
             cache = None
         records = [
-            _execute(corpus.name, index, spec, options, cache)
+            _execute(corpus.name, index, spec, serial_options, cache)
             for index, spec in enumerate(specs)
         ]
         jobs_used = 1
@@ -321,5 +356,6 @@ def run_batch(
         mode=mode,
         jobs=jobs_used,
         note=note,
+        parallelism=parallelism,
         cache_stats=cache.stats if cache is not None else None,
     )

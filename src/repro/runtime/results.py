@@ -49,6 +49,9 @@ class TaskRecord:
     ok: bool = False
     verified: Optional[bool] = None
     error: str = ""
+    parallelism: str = "serial"
+    """Effective intra-chase sharding for this task (``serial``,
+    ``thread:N`` or ``process:N``) after the shared worker budget."""
 
     cache_hit: bool = False
     build_seconds: float = 0.0
@@ -113,6 +116,8 @@ class BatchSummary:
     chase_seconds: float = 0.0
     task_seconds: float = 0.0
     wall_seconds: float = 0.0
+    parallelism: str = "serial"
+    """Intra-chase sharding mode the run's tasks used."""
     by_family: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -136,10 +141,12 @@ class BatchSummary:
 
 
 def summarize(
-    records: Iterable[TaskRecord], wall_seconds: float = 0.0
+    records: Iterable[TaskRecord],
+    wall_seconds: float = 0.0,
+    parallelism: str = "serial",
 ) -> BatchSummary:
     """Fold task records into one :class:`BatchSummary`."""
-    summary = BatchSummary(wall_seconds=wall_seconds)
+    summary = BatchSummary(wall_seconds=wall_seconds, parallelism=parallelism)
     for record in records:
         summary.total += 1
         summary.by_family[record.family] = (

@@ -1,0 +1,463 @@
+"""Differential suite for the parallel chase: sharded == serial, always.
+
+The sharded chase's contract is *bit-identical* results: whatever the
+sharder (threads, forked replica processes, or the serial fallback),
+the produced instances, null resolutions, failure reasons and counters
+must match the serial chase exactly.  These tests sweep the scenario
+corpus — including disjunctive (ded) and failing scenarios — through
+every mode and compare, plus unit-test the sharding machinery itself
+(worker budget, fallbacks, replica-event bookkeeping, trigger-memory
+spill under the parallel path).
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.chase.engine import ChaseConfig, StandardChase
+from repro.chase.parallel import (
+    MatchSharder,
+    ProcessSharder,
+    ThreadSharder,
+    chase_worker_budget,
+    create_sharder,
+    effective_parallelism,
+    parse_parallelism,
+)
+from repro.core.rewriter import rewrite
+from repro.core.verify import ScenarioVerifier
+from repro.errors import ChaseError
+from repro.logic.atoms import Atom, Conjunction, Equality
+from repro.logic.dependencies import denial, egd, tgd
+from repro.logic.terms import Constant, Variable
+from repro.pipeline import run_rewritten
+from repro.relational.instance import Instance, ProbeView
+from repro.runtime.corpus import get_corpus
+
+MODES = ["thread:2", "process:2"]
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def _dense_pair_instance(rows: int = 60) -> Instance:
+    """Enough facts to clear the sharders' MIN_SHARD_FACTS threshold."""
+    instance = Instance()
+    for i in range(rows):
+        instance.add(Atom("S", (Constant(i), Constant(i % 7))))
+        instance.add(Atom("R", (Constant(i % 7), Constant(i % 5))))
+    return instance
+
+
+def _compare_results(serial, other, mode):
+    assert other.status == serial.status, mode
+    assert other.target == serial.target, mode
+    assert other.failure_reason == serial.failure_reason, mode
+    assert other.stats.nulls_created == serial.stats.nulls_created, mode
+    assert other.stats.premise_matches == serial.stats.premise_matches, mode
+    assert other.stats.rounds == serial.stats.rounds, mode
+    assert other.stats.egd_unifications == serial.stats.egd_unifications, mode
+
+
+class TestCorpusDifferential:
+    """Every smoke-corpus scenario, every mode, identical pipelines."""
+
+    @pytest.mark.parametrize(
+        "spec", list(get_corpus("smoke")), ids=lambda s: s.label
+    )
+    def test_smoke_corpus_modes_agree(self, spec):
+        built = spec.build()
+        rewritten = rewrite(built.scenario)
+        baseline = run_rewritten(
+            built.scenario, rewritten, built.instance, verify=True
+        )
+        for mode in MODES:
+            outcome = run_rewritten(
+                built.scenario,
+                rewritten,
+                built.instance,
+                verify=True,
+                config=ChaseConfig(parallelism=mode),
+            )
+            _compare_results(baseline.chase, outcome.chase, mode)
+            assert outcome.target == baseline.target, mode
+            assert outcome.ok == baseline.ok, mode
+            if baseline.verification is not None:
+                assert (
+                    outcome.verification.ok == baseline.verification.ok
+                ), mode
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_disjunctive_sweep_agrees(self, mode):
+        # flagged scenarios rewrite to deds -> the greedy branch search;
+        # name pairs put failure pressure on early selections.
+        from repro.runtime.corpus import spec as make_spec
+
+        spec = make_spec("flagged", flags=2, products=12, name_pairs=2, seed=1)
+        built = spec.build()
+        rewritten = rewrite(built.scenario)
+        baseline = run_rewritten(
+            built.scenario, rewritten, built.instance, verify=True
+        )
+        outcome = run_rewritten(
+            built.scenario,
+            rewritten,
+            built.instance,
+            verify=True,
+            config=ChaseConfig(parallelism=mode),
+        )
+        _compare_results(baseline.chase, outcome.chase, mode)
+        assert outcome.chase.scenarios_tried == baseline.chase.scenarios_tried
+
+
+class TestFailingScenarios:
+    """Failure outcomes (denials, egd constant clashes) match exactly."""
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_denial_failure_identical(self, mode):
+        deps = [
+            tgd(
+                Conjunction(atoms=(Atom("S", (x, y)), Atom("R", (y, z)))),
+                (Atom("T", (x, z)),),
+                name="copy",
+            ),
+            denial(Conjunction(atoms=(Atom("T", (x, x)),)), name="no_loop"),
+        ]
+        source = _dense_pair_instance()
+        serial = StandardChase(deps, ("S", "R")).run(source)
+        sharded = StandardChase(
+            deps, ("S", "R"), ChaseConfig(parallelism=mode)
+        ).run(source)
+        assert not serial.ok
+        _compare_results(serial, sharded, mode)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_egd_constant_clash_identical(self, mode):
+        deps = [
+            egd(
+                Conjunction(atoms=(Atom("S", (x, y)), Atom("S", (x, z)))),
+                (Equality(y, z),),
+                name="key",
+            ),
+        ]
+        source = _dense_pair_instance()
+        # Two constant values under one key: the egd must hard-fail.
+        source.add(Atom("S", (Constant(3), Constant(998))))
+        source.add(Atom("S", (Constant(7), Constant(999))))
+        serial = StandardChase(deps, ()).run(source)
+        sharded = StandardChase(
+            deps, (), ChaseConfig(parallelism=mode)
+        ).run(source)
+        assert not serial.ok
+        _compare_results(serial, sharded, mode)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_cross_dependency_round_feed_identical(self, mode):
+        # Dep 0 enforces facts that feed dep 1's premise *within* later
+        # delta rounds: the parent chases with the round's frozen delta,
+        # so replica workers must not fold same-round insertions into
+        # their recomputed delta (regression: the process sharder once
+        # cleared its delta cache on every event replay).
+        deps = [
+            tgd(
+                Conjunction(atoms=(Atom("P", (x, y)), Atom("Q", (y, z)))),
+                (Atom("P", (x, z)),),
+                name="close",
+            ),
+            tgd(
+                Conjunction(atoms=(Atom("P", (x, y)),)),
+                (Atom("R", (x, y, z)),),  # z existential
+                name="tag",
+            ),
+        ]
+        source = Instance()
+        for chain in range(40):  # chains long enough for several rounds
+            base = chain * 10
+            for hop in range(4):
+                source.add(
+                    Atom("Q", (Constant(base + hop), Constant(base + hop + 1)))
+                )
+            source.add(Atom("P", (Constant(base - 1), Constant(base))))
+        serial = StandardChase(deps, ("Q",)).run(source)
+        sharded = StandardChase(
+            deps, ("Q",), ChaseConfig(parallelism=mode)
+        ).run(source)
+        assert serial.ok and serial.stats.rounds > 3
+        _compare_results(serial, sharded, mode)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_null_unification_identical(self, mode):
+        # tgd invents nulls, egd then unifies them: the canonical-order
+        # merge must reproduce the exact same null ids and unions.
+        deps = [
+            tgd(
+                Conjunction(atoms=(Atom("S", (x, y)),)),
+                (Atom("T", (x, z)),),  # z existential -> fresh null per x
+                name="invent",
+            ),
+            egd(
+                Conjunction(atoms=(Atom("T", (x, y)), Atom("T", (x, z)))),
+                (Equality(y, z),),
+                name="unify",
+            ),
+        ]
+        source = _dense_pair_instance()
+        serial = StandardChase(deps, ("S", "R")).run(source)
+        sharded = StandardChase(
+            deps, ("S", "R"), ChaseConfig(parallelism=mode)
+        ).run(source)
+        assert serial.ok
+        _compare_results(serial, sharded, mode)
+        assert serial.stats.nulls_created > 0
+
+
+class TestTriggerMemoryUnderParallelism:
+    @pytest.mark.parametrize("mode", ["serial"] + MODES)
+    def test_bloom_spill_matches_serial(self, mode):
+        deps = [
+            tgd(
+                Conjunction(atoms=(Atom("S", (x, y)),)),
+                (Atom("T", (x, y)),),
+                name="copy",
+            ),
+        ]
+        source = _dense_pair_instance()
+        config = ChaseConfig(
+            policy="oblivious", oblivious_trigger_limit=5, parallelism=mode
+        )
+        engine = StandardChase(deps, ("S", "R"), config)
+        result = engine.run(source)
+        assert result.ok
+        memory = engine._trigger_memory
+        assert memory.exact_size == 5
+        assert memory.spilled > 0  # the Bloom tier engaged
+        if mode == "serial":
+            TestTriggerMemoryUnderParallelism._baseline = (
+                result.target,
+                memory.spilled,
+            )
+        else:
+            target, spilled = TestTriggerMemoryUnderParallelism._baseline
+            assert result.target == target, mode
+            assert memory.spilled == spilled, mode
+
+
+class TestStableBloomProbes:
+    def test_probes_independent_of_hash_randomization(self):
+        # Which triggers collide in the Bloom spill must be identical
+        # across interpreter runs, or two oblivious chases of the same
+        # input could diverge once spilling starts.
+        import subprocess
+        import sys
+
+        snippet = (
+            "import sys; sys.path.insert(0, 'src');"
+            "from repro.chase.engine import _TriggerMemory;"
+            "from repro.logic.terms import Constant, Null;"
+            "t = (3, (Constant('abc'), Null(7, 'hint'), Constant(42)));"
+            "m = _TriggerMemory(0);"
+            "print(m._probes(t))"
+        )
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", snippet],
+                env={"PYTHONHASHSEED": seed, "PATH": ""},
+                cwd="/root/repo",
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout
+            for seed in ("0", "12345")
+        }
+        assert len(outputs) == 1
+
+    def test_null_hint_excluded_like_equality(self):
+        from repro.chase.engine import _TriggerMemory
+        from repro.logic.terms import Null
+
+        with_hint = (0, (Null(5, "a"),))
+        other_hint = (0, (Null(5, "b"),))
+        assert _TriggerMemory._stable_digest(with_hint) == (
+            _TriggerMemory._stable_digest(other_hint)
+        )
+
+
+class TestSharderMachinery:
+    def test_parse_parallelism_forms(self):
+        assert parse_parallelism(None) == ("serial", 1)
+        assert parse_parallelism("serial") == ("serial", 1)
+        assert parse_parallelism("1") == ("serial", 1)
+        assert parse_parallelism(4) == ("process", 4)
+        assert parse_parallelism("3") == ("process", 3)
+        assert parse_parallelism("thread:2") == ("thread", 2)
+        assert parse_parallelism("process:6") == ("process", 6)
+        assert parse_parallelism("THREAD:2") == ("thread", 2)
+        assert parse_parallelism("process:1") == ("serial", 1)
+        with pytest.raises(ChaseError):
+            parse_parallelism("gpu:2")
+        with pytest.raises(ChaseError):
+            parse_parallelism("thread:lots")
+
+    def test_chase_worker_budget_arithmetic(self):
+        # jobs x chase workers never exceeds the cpu budget
+        assert chase_worker_budget(jobs=1, requested=4, cpu_count=8) == 4
+        assert chase_worker_budget(jobs=2, requested=4, cpu_count=8) == 4
+        assert chase_worker_budget(jobs=4, requested=4, cpu_count=8) == 2
+        assert chase_worker_budget(jobs=8, requested=4, cpu_count=8) == 1
+        assert chase_worker_budget(jobs=3, requested=8, cpu_count=8) == 2
+        assert chase_worker_budget(jobs=1, requested=2, cpu_count=1) == 1
+        # degenerate inputs stay sane
+        assert chase_worker_budget(jobs=0, requested=4, cpu_count=4) == 4
+        assert chase_worker_budget(jobs=2, requested=0, cpu_count=8) == 1
+
+    def test_effective_parallelism_caps_and_canonicalizes(self):
+        assert effective_parallelism("process:4", jobs=1, cpu_count=8) == "process:4"
+        assert effective_parallelism("process:4", jobs=4, cpu_count=8) == "process:2"
+        assert effective_parallelism("process:4", jobs=8, cpu_count=8) == "serial"
+        assert effective_parallelism("thread", jobs=2, cpu_count=4) == "thread:2"
+        assert effective_parallelism("serial", jobs=1, cpu_count=8) == "serial"
+
+    def test_create_sharder_modes(self):
+        assert type(create_sharder("serial")) is MatchSharder
+        thread = create_sharder("thread:2")
+        assert isinstance(thread, ThreadSharder) and thread.workers == 2
+        process = create_sharder("process:2")
+        if "fork" in multiprocessing.get_all_start_methods():
+            assert isinstance(process, ProcessSharder)
+        else:
+            assert isinstance(process, ThreadSharder)
+
+    def test_daemonic_caller_degrades_to_threads(self, monkeypatch):
+        class _Daemonic:
+            daemon = True
+
+        monkeypatch.setattr(
+            multiprocessing, "current_process", lambda: _Daemonic()
+        )
+        sharder = create_sharder("process:3")
+        assert isinstance(sharder, ThreadSharder)
+        assert sharder.workers == 3
+
+    def test_describe(self):
+        assert MatchSharder().describe() == "serial"
+        assert ThreadSharder(2).describe() == "thread:2"
+        assert ProcessSharder(4).describe() == "process:4"
+
+    def test_describe_reports_degradation(self):
+        sharder = ProcessSharder(4)
+        sharder._broken = True
+        assert sharder.describe() == "serial (degraded from process:4)"
+
+    def test_worker_death_degrades_to_serial(self):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs fork")
+        deps = [
+            tgd(
+                Conjunction(atoms=(Atom("S", (x, y)), Atom("R", (y, z)))),
+                (Atom("T", (x, z)),),
+                name="join",
+            ),
+        ]
+        source = _dense_pair_instance()
+        engine = StandardChase(deps, ("S", "R"))
+        working = Instance()
+        for fact in source:
+            working.add(fact)
+        working.bump_generation()
+        sharder = ProcessSharder(2)
+        sharder.begin_run(working, engine.compiled)
+        try:
+            for process in sharder._processes:
+                process.terminate()
+                process.join()
+            sharder.begin_round(None, None)
+            matches = sharder.enumerate_matches(0)
+            assert sharder._broken
+            serial = engine.compiled[0].premise_matches(working, None)
+            assert sorted(
+                tuple(sorted(b.items())) for b in matches
+            ) == sorted(tuple(sorted(b.items())) for b in serial)
+        finally:
+            sharder.end_run()
+
+
+class TestProbeView:
+    def test_read_surface_delegates(self):
+        instance = _dense_pair_instance(10)
+        view = instance.probe_view()
+        assert isinstance(view, ProbeView)
+        assert len(view) == len(instance)
+        assert view.size("S") == instance.size("S")
+        assert set(view.facts("S")) == set(instance.facts("S"))
+        assert view.relations() == instance.relations()
+        assert view.key_count("S", (0,)) == instance.key_count("S", (0,))
+        assert view.current_generation == instance.current_generation
+        some_fact = next(iter(instance))
+        assert some_fact in view
+        assert view.index("S", (0,)) is instance.index("S", (0,))
+
+    def test_no_mutation_surface(self):
+        view = _dense_pair_instance(4).probe_view()
+        for forbidden in ("add", "add_all", "remove", "apply_null_map",
+                          "bump_generation"):
+            assert not hasattr(view, forbidden)
+
+
+class TestParallelVerifier:
+    def test_report_identical_to_serial(self):
+        spec_corpus = get_corpus("smoke")
+        spec = list(spec_corpus)[0]
+        built = spec.build()
+        rewritten = rewrite(built.scenario)
+        outcome = run_rewritten(
+            built.scenario, rewritten, built.instance, verify=False
+        )
+        serial = ScenarioVerifier(built.scenario, built.instance).verify(
+            outcome.target
+        )
+        threaded = ScenarioVerifier(
+            built.scenario, built.instance, parallelism="thread:2"
+        ).verify(outcome.target)
+        assert threaded.ok == serial.ok
+        assert threaded.mappings_checked == serial.mappings_checked
+        assert threaded.constraints_checked == serial.constraints_checked
+        assert threaded.premise_matches == serial.premise_matches
+        assert [str(v) for v in threaded.violations] == [
+            str(v) for v in serial.violations
+        ]
+
+    def test_violations_capped_like_serial(self):
+        # An empty target violates every premise match; the violation
+        # list caps identically in both modes.
+        spec = list(get_corpus("smoke"))[0]
+        built = spec.build()
+        empty = Instance()
+        serial = ScenarioVerifier(built.scenario, built.instance).verify(
+            empty, max_violations=3
+        )
+        threaded = ScenarioVerifier(
+            built.scenario, built.instance, parallelism="thread:3"
+        ).verify(empty, max_violations=3)
+        assert not serial.ok and not threaded.ok
+        assert len(serial.violations) == len(threaded.violations) == 3
+        assert [str(v) for v in threaded.violations] == [
+            str(v) for v in serial.violations
+        ]
+
+
+@pytest.mark.skipif(os.cpu_count() is None, reason="cpu_count unavailable")
+def test_chase_result_records_sharding():
+    deps = [
+        tgd(
+            Conjunction(atoms=(Atom("S", (x, y)),)),
+            (Atom("T", (x, y)),),
+            name="copy",
+        ),
+    ]
+    source = _dense_pair_instance(8)
+    serial = StandardChase(deps, ("S", "R")).run(source)
+    assert serial.sharding == "serial"
+    threaded = StandardChase(
+        deps, ("S", "R"), ChaseConfig(parallelism="thread:2")
+    ).run(source)
+    assert threaded.sharding == "thread:2"

@@ -314,6 +314,72 @@ class TestResults:
         assert summary.by_family == {"random": 2, "flagged": 2}
         assert not summary.clean
 
+    def test_summarize_records_parallelism(self):
+        summary = summarize([], parallelism="process:2")
+        assert summary.parallelism == "process:2"
+        assert summary.as_dict()["parallelism"] == "process:2"
+
+
+class TestIntraChaseParallelism:
+    """BatchOptions.parallelism: budgeted, recorded, and JSONL-visible."""
+
+    def test_serial_run_honours_requested_parallelism(self, monkeypatch):
+        import repro.runtime.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 8)
+        corpus = get_corpus("smoke").limited(2)
+        report = run_batch(
+            corpus, BatchOptions(parallelism="thread:2", use_cache=False)
+        )
+        assert report.parallelism == "thread:2"
+        assert report.summary.parallelism == "thread:2"
+        assert all(r.parallelism == "thread:2" for r in report.records)
+        assert all(r.ok for r in report.records)
+
+    def test_pool_budget_caps_chase_workers(self, monkeypatch):
+        import repro.runtime.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 4)
+        corpus = get_corpus("smoke").limited(3)
+        report = run_batch(
+            corpus,
+            BatchOptions(jobs=2, parallelism="process:4", use_cache=False),
+        )
+        # 4 cpus / 2 jobs = 2 chase workers per task, never 4 — and
+        # daemonic pool workers cannot fork, so the record says threads.
+        assert report.parallelism == "thread:2"
+        assert all(r.parallelism == "thread:2" for r in report.records)
+        if report.mode == "pool":
+            assert "cannot fork" in report.note
+
+    def test_exhausted_budget_degrades_to_serial(self, monkeypatch):
+        import repro.runtime.executor as executor_module
+
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 2)
+        corpus = get_corpus("smoke").limited(2)
+        report = run_batch(
+            corpus,
+            BatchOptions(jobs=2, parallelism="process:4", use_cache=False),
+        )
+        assert report.parallelism == "serial"
+
+    def test_parallelism_round_trips_through_jsonl(self, tmp_path):
+        record = TaskRecord(
+            "c", 0, "a()", "random", {}, parallelism="process:2"
+        )
+        path = tmp_path / "records.jsonl"
+        write_jsonl([record], path)
+        (loaded,) = read_jsonl(path)
+        assert loaded.parallelism == "process:2"
+        # Pre-parallelism records (no field) still load.
+        import json
+
+        old = dict(json.loads(record.to_json()))
+        del old["parallelism"]
+        path.write_text(json.dumps(old) + "\n")
+        (legacy,) = read_jsonl(path)
+        assert legacy.parallelism == "serial"
+
 
 class TestBatchCli:
     def test_list(self, capsys):

@@ -80,6 +80,83 @@ class TestCompare:
         assert "new benchmark" in movements[0]
 
 
+class TestRollingWindow:
+    def _history(self, tmp_path, values):
+        history = tmp_path / "history"
+        history.mkdir()
+        for run_number, value in enumerate(values):
+            run_dir = history / f"run-{run_number:09d}"
+            run_dir.mkdir()
+            write_bench(
+                run_dir, "e9_probe_cost", {"per_probe_seconds": {"1000": value}}
+            )
+        return history
+
+    def test_load_history_flat_directory_is_one_run(self, tmp_path):
+        flat = tmp_path / "previous"
+        flat.mkdir()
+        write_bench(flat, "e9", {"v": 1.0})
+        runs = trend.load_history(str(flat), window=5)
+        assert len(runs) == 1
+        assert runs[0] == {"e9": {"v": 1.0}}
+
+    def test_load_history_takes_last_window_runs(self, tmp_path):
+        history = self._history(tmp_path, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        runs = trend.load_history(str(history), window=3)
+        values = [
+            run["e9_probe_cost"]["per_probe_seconds.1000"] for run in runs
+        ]
+        assert values == [4.0, 5.0, 6.0]
+
+    def test_median_baseline_resists_one_noisy_run(self, tmp_path):
+        # One 10x outlier among five runs must not move the baseline.
+        history = self._history(tmp_path, [1.0, 1.1, 10.0, 0.9, 1.0])
+        runs = trend.load_history(str(history), window=5)
+        baseline = trend.median_baseline(runs)
+        assert baseline["e9_probe_cost"]["per_probe_seconds.1000"] == 1.0
+
+    def test_median_covers_metrics_missing_from_some_runs(self, tmp_path):
+        history = tmp_path / "history"
+        history.mkdir()
+        for run_number, payload in enumerate(
+            [{"v": 1.0}, {"v": 3.0, "fresh": 7.0}]
+        ):
+            run_dir = history / f"run-{run_number:09d}"
+            run_dir.mkdir()
+            write_bench(run_dir, "e2", payload)
+        baseline = trend.median_baseline(
+            trend.load_history(str(history), window=5)
+        )
+        assert baseline["e2"] == {"v": 2.0, "fresh": 7.0}
+
+    def test_main_compares_against_window_median(self, tmp_path):
+        history = self._history(tmp_path, [1.0, 1.0, 50.0, 1.0, 1.0])
+        current = tmp_path / "current"
+        current.mkdir()
+        # 1.1 is fine against the median (1.0) even though the previous
+        # run alone (1.0) and the outlier (50.0) would disagree wildly.
+        write_bench(
+            current, "e9_probe_cost", {"per_probe_seconds": {"1000": 1.1}}
+        )
+        assert trend.main([str(current), str(history)]) == 0
+        write_bench(
+            current, "e9_probe_cost", {"per_probe_seconds": {"1000": 2.0}}
+        )
+        assert trend.main([str(current), str(history)]) == 1
+        # A window of one = compare against the last run only.
+        assert (
+            trend.main([str(current), str(history), "--window", "1"]) == 1
+        )
+
+    def test_main_empty_history_directory(self, tmp_path):
+        history = tmp_path / "history"
+        history.mkdir()
+        current = tmp_path / "current"
+        current.mkdir()
+        write_bench(current, "e2", {"v": 1.0})
+        assert trend.main([str(current), str(history)]) == 0
+
+
 class TestMain:
     def test_end_to_end_exit_codes(self, tmp_path):
         current = tmp_path / "current"
