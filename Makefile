@@ -1,12 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test ci-test bench example batch help
+.PHONY: test ci-test bench fuzz example batch help
 
 help:
 	@echo "make test      - full suite (tier-1: tests + benchmarks)"
 	@echo "make ci-test   - fast suite (benchmarks excluded by marker)"
 	@echo "make bench     - benchmark suite only"
+	@echo "make fuzz      - deep hypothesis profile over the property suites"
 	@echo "make example   - regenerate examples/running_example.grom"
 	@echo "make batch     - run the default batch corpus end to end"
 
@@ -18,6 +19,14 @@ ci-test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Nightly-style fuzzing: hundreds of fresh random examples per property
+# (the CI run uses the fixed "ci" profile instead).  A failure prints
+# the falsifying example; pin it as an @example line in the test file.
+fuzz:
+	HYPOTHESIS_PROFILE=deep $(PYTHON) -m pytest -q \
+		tests/test_properties.py tests/test_property_parallel.py \
+		tests/test_dsl_roundtrip.py
 
 # The shipped DSL artifact is generated, never hand-edited: regenerate it
 # from scenarios/running_example.py whenever the example or the

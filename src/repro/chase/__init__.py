@@ -19,9 +19,18 @@ from repro.chase.parallel import (
     ProcessSharder,
     ThreadSharder,
     chase_worker_budget,
+    compose_parallelism,
     create_sharder,
     effective_parallelism,
     parse_parallelism,
+)
+from repro.chase.race import (
+    BranchOutcome,
+    ProcessRacer,
+    RaceResult,
+    SerialRacer,
+    ThreadRacer,
+    create_racer,
 )
 from repro.chase.result import ChaseResult, ChaseStats, ChaseStatus
 from repro.chase.termination import (
@@ -42,6 +51,13 @@ __all__ = [
     "parse_parallelism",
     "chase_worker_budget",
     "effective_parallelism",
+    "compose_parallelism",
+    "BranchOutcome",
+    "RaceResult",
+    "SerialRacer",
+    "ThreadRacer",
+    "ProcessRacer",
+    "create_racer",
     "ChaseResult",
     "ChaseStats",
     "ChaseStatus",

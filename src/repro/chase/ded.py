@@ -27,13 +27,19 @@ directly observable through :attr:`ChaseResult.scenarios_tried`.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.chase.compiled import compile_dependencies
 from repro.chase.engine import ChaseConfig, StandardChase
-from repro.chase.parallel import create_sharder
+from repro.chase.parallel import (
+    create_sharder,
+    effective_parallelism,
+    parse_parallelism,
+)
+from repro.chase.race import ProcessRacer, create_racer
 from repro.chase.result import ChaseResult, ChaseStats, ChaseStatus
 from repro.logic.dependencies import Dependency, Disjunct
 from repro.relational.instance import Instance
@@ -57,6 +63,23 @@ def branch_cost(disjunct: Disjunct) -> Tuple[int, int, int]:
 class _DedInfo:
     dependency: Dependency
     branch_order: List[int]
+
+
+def _branch_timing(
+    index: int,
+    selection: Tuple[int, ...],
+    result: ChaseResult,
+    seconds: float,
+    worker: str,
+) -> Dict[str, object]:
+    """One derived scenario's entry in ``ChaseResult.branch_timings``."""
+    return {
+        "index": index,
+        "selection": list(selection),
+        "status": str(result.status),
+        "seconds": seconds,
+        "worker": worker,
+    }
 
 
 class GreedyDedChase:
@@ -148,19 +171,39 @@ class GreedyDedChase:
         selection and the number of scenarios tried), or the FAILURE
         result of the last attempt when all scenarios fail or the budget
         is exhausted.
+
+        When ``config.branch_parallelism`` asks for workers, the derived
+        scenarios *race* on a worker pool (:mod:`repro.chase.race`): the
+        winner is the lowest selection in canonical order that succeeds,
+        so status, target, statistics and ``scenarios_tried`` are
+        bit-identical to the serial sweep; losers past the winner are
+        cancelled early.
         """
+        selections = list(
+            itertools.islice(self.selections(), self.max_scenarios)
+        )
+        _mode, workers = parse_parallelism(self.config.branch_parallelism)
+        if workers > 1 and len(selections) > 1:
+            return self._run_raced(selections, source_instance, target_instance)
+        return self._run_serial(selections, source_instance, target_instance)
+
+    def _run_serial(
+        self,
+        selections: List[Tuple[int, ...]],
+        source_instance: Instance,
+        target_instance: Optional[Instance],
+    ) -> ChaseResult:
         start = time.perf_counter()
         aggregate = ChaseStats()
         last: Optional[ChaseResult] = None
+        timings: List[Dict[str, object]] = []
         tried = 0
         # One sharder serves the whole selection sweep: every derived
         # scenario shares the compiled plans, so the worker fan-out is
         # configured once and re-armed per run (begin_run/end_run).
         sharder = create_sharder(self.config.parallelism)
         try:
-            for selection in self.selections():
-                if tried >= self.max_scenarios:
-                    break
+            for selection in selections:
                 tried += 1
                 dependencies, choice = self.scenario_for(selection)
                 engine = StandardChase(
@@ -171,7 +214,14 @@ class GreedyDedChase:
                     compiled=self._compiled,
                     sharder=sharder,
                 )
+                step = time.perf_counter()
                 result = engine.run(source_instance, target_instance)
+                timings.append(
+                    _branch_timing(
+                        tried - 1, selection, result,
+                        time.perf_counter() - step, "serial",
+                    )
+                )
                 aggregate = aggregate.merge(result.stats)
                 if result.ok:
                     result.stats = aggregate
@@ -181,9 +231,10 @@ class GreedyDedChase:
                         info.dependency.describe(): branch
                         for info, branch in zip(self._infos, selection)
                     }
+                    result.branch_timings = timings
                     return result
                 last = result
-            if last is None:  # no deds and the standard part failed?  run it once
+            if last is None:  # no scenario budget?  run the standard part once
                 engine = StandardChase(
                     self.standard,
                     self.source_relations,
@@ -191,13 +242,115 @@ class GreedyDedChase:
                     compiled=self._compiled[: len(self.standard)],
                     sharder=sharder,
                 )
+                step = time.perf_counter()
                 last = engine.run(source_instance, target_instance)
+                timings.append(
+                    _branch_timing(
+                        0, (), last, time.perf_counter() - step, "serial"
+                    )
+                )
                 tried = 1
         finally:
             sharder.close()
+        return self._finish_failure(last, aggregate, tried, start, timings)
+
+    def _run_raced(
+        self,
+        selections: List[Tuple[int, ...]],
+        source_instance: Instance,
+        target_instance: Optional[Instance],
+    ) -> ChaseResult:
+        start = time.perf_counter()
+        racer = create_racer(self.config.branch_parallelism)
+        # Every raced branch chases under the shared CPU budget: its
+        # intra-chase shards divide the per-branch share, and nested
+        # racing is off (one level of fan-out is the whole budget).
+        inner_config = replace(
+            self.config,
+            parallelism=effective_parallelism(
+                self.config.parallelism, jobs=racer.workers
+            ),
+            branch_parallelism="serial",
+        )
+        # Forked race workers inherit the sweep's compiled plans
+        # copy-on-write; racing *threads* must not share mutable plan
+        # caches, so each thread compiles its own set once and reuses it
+        # across all the branches it chases.
+        dependencies_template = self.standard + [
+            info.dependency for info in self._infos
+        ]
+        shared_plans = isinstance(racer, ProcessRacer)
+        local = threading.local()
+
+        def compiled_for_worker():
+            if shared_plans:
+                return self._compiled
+            plans = getattr(local, "compiled", None)
+            if plans is None:
+                plans = compile_dependencies(dependencies_template)
+                local.compiled = plans
+            return plans
+
+        def run_selection(index: int) -> ChaseResult:
+            dependencies, choice = self.scenario_for(selections[index])
+            engine = StandardChase(
+                dependencies,
+                self.source_relations,
+                inner_config,
+                branch_choice=choice,
+                compiled=compiled_for_worker(),
+            )
+            return engine.run(source_instance, target_instance)
+
+        race = racer.race(
+            len(selections), run_selection, success=lambda r: r.ok
+        )
+        ordered = race.ordered()
+        timings = [
+            _branch_timing(
+                outcome.index,
+                selections[outcome.index],
+                outcome.result,
+                outcome.seconds,
+                outcome.worker,
+            )
+            for outcome in ordered
+        ]
+        aggregate = ChaseStats()
+        for outcome in ordered:
+            aggregate = aggregate.merge(outcome.result.stats)
+        if race.winner is not None:
+            selection = selections[race.winner]
+            result = race.outcomes[race.winner].result
+            result.stats = aggregate
+            result.stats.elapsed_seconds = time.perf_counter() - start
+            result.scenarios_tried = race.tried
+            result.branch_selection = {
+                info.dependency.describe(): branch
+                for info, branch in zip(self._infos, selection)
+            }
+            result.branch_racing = racer.describe()
+            result.branch_timings = timings
+            return result
+        last = race.outcomes[len(selections) - 1].result
+        result = self._finish_failure(
+            last, aggregate, race.tried, start, timings
+        )
+        result.branch_racing = racer.describe()
+        return result
+
+    def _finish_failure(
+        self,
+        last: ChaseResult,
+        aggregate: ChaseStats,
+        tried: int,
+        start: float,
+        timings: List[Dict[str, object]],
+    ) -> ChaseResult:
         last.stats = aggregate.merge(ChaseStats())
         last.stats.elapsed_seconds = time.perf_counter() - start
         last.scenarios_tried = tried
+        last.branch_timings = timings
         if last.status is ChaseStatus.SUCCESS:
             return last
         last.failure_reason = (

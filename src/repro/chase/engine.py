@@ -85,6 +85,14 @@ class ChaseConfig:
     always a serial, canonically-ordered merge, so every mode produces
     bit-identical instances and null resolutions."""
 
+    branch_parallelism: str = "serial"
+    """How the *disjunctive search* races independent branches:
+    ``serial`` (default), ``thread[:N]`` or ``process[:N]``.  The greedy
+    ded sweep races whole candidate selections and the disjunctive
+    chase prefetches tree nodes; winner selection is canonical (lowest
+    selection index / DFS order), so results are bit-identical to the
+    serial sweep — see :mod:`repro.chase.race`."""
+
 
 class _NullMap:
     """Union-find over labeled nulls, with constants as sinks."""
@@ -518,8 +526,24 @@ class StandardChase:
             stats.tgd_fires += 1
 
 
+def _term_order(term: Term) -> Tuple:
+    """Canonical, shift-equivariant sort key for a ground term.
+
+    Nulls order numerically by id (never lexicographically: ``N10`` must
+    sort after ``N9``), constants by their representation.  Because the
+    key is *numeric* in the null id, uniformly shifting every fresh null
+    id — which the speculative disjunctive chase does when it commits a
+    prefetched subtree — preserves the relative order of all terms, so
+    enforcement order (and hence every invented null) is identical
+    whether a node was chased speculatively or in place.
+    """
+    if isinstance(term, Null):
+        return (1, term.id, "")
+    return (0, 0, repr(term))
+
+
 def _binding_order(binding: Dict[Variable, Term]) -> Tuple:
-    return tuple(sorted((v.name, str(t)) for v, t in binding.items()))
+    return tuple(sorted((v.name, _term_order(t)) for v, t in binding.items()))
 
 
 def _render_binding(binding: Dict[Variable, Term]) -> str:

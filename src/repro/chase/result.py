@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.relational.instance import Instance
 
@@ -76,6 +76,16 @@ class ChaseResult:
     sharding: str = "serial"
     """How the enumerate phase was sharded (``serial``, ``thread:N`` or
     ``process:N`` — see :mod:`repro.chase.parallel`)."""
+
+    branch_racing: str = "serial"
+    """How the disjunctive search raced its derived scenarios
+    (``serial``, ``thread:N`` or ``process:N`` — see
+    :mod:`repro.chase.race`)."""
+
+    branch_timings: Optional[List[Dict[str, object]]] = None
+    """Per derived-scenario timings of the greedy ded sweep, in
+    canonical selection order up to the winner: ``index``, ``selection``,
+    ``status``, ``seconds`` and the ``worker`` that chased it."""
 
     @property
     def ok(self) -> bool:

@@ -71,6 +71,12 @@ def build_argument_parser() -> argparse.ArgumentParser:
              "thread[:N] or process[:N]",
     )
     chase_cmd.add_argument(
+        "--branch-parallelism", default="serial", metavar="MODE",
+        help="race the disjunctive search's derived scenarios: serial "
+             "(default), thread[:N] or process[:N]; results are "
+             "bit-identical to the serial sweep",
+    )
+    chase_cmd.add_argument(
         "--no-verify", action="store_true", help="skip the soundness check"
     )
     chase_cmd.add_argument(
@@ -102,7 +108,14 @@ def build_argument_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--parallelism", default="serial", metavar="MODE",
         help="intra-chase sharding per task (serial, thread[:N], "
-             "process[:N]); capped so jobs x chase workers <= cpu count",
+             "process[:N]); capped so jobs x branch workers x chase "
+             "workers <= cpu count",
+    )
+    batch.add_argument(
+        "--branch-parallelism", default="serial", metavar="MODE",
+        help="branch racing of each task's disjunctive search (serial, "
+             "thread[:N], process[:N]); shares the cpu budget with "
+             "--jobs and --parallelism",
     )
     batch.add_argument(
         "--timeout", type=float, default=None,
@@ -191,8 +204,12 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     document = _load(args.scenario)
     source = _source_instance(document, args.csv)
     config = (
-        ChaseConfig(parallelism=args.parallelism)
+        ChaseConfig(
+            parallelism=args.parallelism,
+            branch_parallelism=args.branch_parallelism,
+        )
         if args.parallelism != "serial"
+        or args.branch_parallelism != "serial"
         else None
     )
     outcome = run_scenario(
@@ -205,6 +222,8 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     print(f"rewriting: {outcome.rewrite!r}")
     print(f"chase:     {outcome.chase}")
     print(f"sharding:  {outcome.chase.sharding}")
+    if outcome.chase.branch_racing != "serial":
+        print(f"racing:    {outcome.chase.branch_racing}")
     if outcome.chase.branch_selection:
         print(f"branches:  {outcome.chase.branch_selection} "
               f"(after {outcome.chase.scenarios_tried} scenarios)")
@@ -264,6 +283,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     options = BatchOptions(
         jobs=args.jobs,
         parallelism=args.parallelism,
+        branch_parallelism=args.branch_parallelism,
         timeout=args.timeout,
         verify=not args.no_verify,
         max_scenarios=args.max_scenarios,

@@ -24,14 +24,17 @@ Per-dependency checks are independent read-only scans, so a verifier
 may fan them across a thread pool (``parallelism``); the pool draws
 from the same worker budget as the chase's match sharding (see
 :mod:`repro.chase.parallel`), and violations are merged back in
-dependency order so reports are identical to a serial check.
+dependency order so reports are identical to a serial check.  When many
+candidates are checked at once, :meth:`ScenarioVerifier.verify_candidates`
+fans *whole candidates* instead — the coarser unit the branch-racing
+disjunctive search produces — with reports returned in candidate order.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.compose import source_database
 from repro.core.scenario import MappingScenario
@@ -216,7 +219,10 @@ class ScenarioVerifier:
         return self._source_side
 
     def verify(
-        self, target_instance: Instance, max_violations: int = 100
+        self,
+        target_instance: Instance,
+        max_violations: int = 100,
+        _workers: Optional[int] = None,
     ) -> VerificationReport:
         """Check one candidate target against the semantic scenario."""
         report = VerificationReport(ok=True)
@@ -227,7 +233,9 @@ class ScenarioVerifier:
             ("mapping", m) for m in self.scenario.mappings
         ] + [("constraint", c) for c in self.scenario.target_constraints]
 
-        workers = self._check_workers(len(checks))
+        workers = (
+            _workers if _workers is not None else self._check_workers(len(checks))
+        )
         if workers > 1:
             outcomes = self._run_parallel(
                 checks, source_side, target_side, max_violations, workers
@@ -253,6 +261,49 @@ class ScenarioVerifier:
 
         report.ok = not report.violations
         return report
+
+    def verify_candidates(
+        self,
+        target_instances: Sequence[Instance],
+        max_violations: int = 100,
+    ) -> List[VerificationReport]:
+        """Check many candidate targets, fanning *whole candidates*.
+
+        The greedy ded sweep's k derived scenarios produce k candidate
+        targets; per-candidate checks are far coarser-grained units than
+        per-dependency checks, so with a worker budget this fans one
+        candidate per worker (each candidate verified serially inside
+        its worker) and returns reports in candidate order — identical
+        to ``[verify(t) for t in targets]``.  The shared source side is
+        materialized once, before the fan-out.
+        """
+        targets = list(target_instances)
+        workers = min(self._candidate_workers(), len(targets))
+        if workers <= 1:
+            return [
+                self.verify(target, max_violations=max_violations)
+                for target in targets
+            ]
+        self.source_side  # materialize once, outside the pool
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="verify-candidate"
+        ) as pool:
+            futures = [
+                pool.submit(
+                    self.verify, target, max_violations, 1
+                )
+                for target in targets
+            ]
+            return [future.result() for future in futures]
+
+    def _candidate_workers(self) -> int:
+        """Thread-pool width for a candidate fan (1 = stay serial)."""
+        if self.parallelism is None:
+            return 1
+        from repro.chase.parallel import parse_parallelism
+
+        mode, workers = parse_parallelism(self.parallelism)
+        return 1 if mode == "serial" else workers
 
     def _check_workers(self, checks: int) -> int:
         """Thread-pool width for this verify call (1 = stay serial)."""

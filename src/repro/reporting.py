@@ -103,6 +103,7 @@ def batch_summary_table(report: "BatchReport") -> Table:
     table.add("scenarios", summary.total)
     table.add("mode", f"{report.mode} (jobs={report.jobs})")
     table.add("chase sharding", report.parallelism)
+    table.add("branch racing", report.branch_parallelism)
     table.add("succeeded", summary.succeeded)
     table.add("chase failures", summary.failed)
     table.add("nonterminated", summary.nonterminated)

@@ -30,7 +30,7 @@ from dataclasses import dataclass, replace
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.chase.engine import ChaseConfig
-from repro.chase.parallel import effective_parallelism
+from repro.chase.parallel import compose_parallelism
 from repro.core.rewriter import rewrite
 from repro.pipeline import run_rewritten
 from repro.runtime.cache import CacheStats, RewriteCache
@@ -56,8 +56,14 @@ class BatchOptions:
     parallelism: str = "serial"
     """Requested *intra-chase* sharding per task (``serial``,
     ``thread[:N]``, ``process[:N]``).  :func:`run_batch` caps it against
-    the shared CPU budget — ``jobs × chase workers ≤ os.cpu_count()`` —
-    so scenario-level and intra-chase parallelism never oversubscribe."""
+    the shared CPU budget — ``jobs × branch workers × chase workers ≤
+    os.cpu_count()`` — so scenario-level, branch-race and intra-chase
+    parallelism never oversubscribe."""
+    branch_parallelism: str = "serial"
+    """Requested branch racing of each task's disjunctive search
+    (``serial``, ``thread[:N]``, ``process[:N]``).  Shares the same CPU
+    budget as ``jobs`` and ``parallelism``; branch workers take the
+    per-job share first, chase shards divide the remainder."""
     timeout: Optional[float] = None
     """Per-task wall-clock budget in seconds (needs ``SIGALRM``)."""
     verify: bool = True
@@ -83,6 +89,8 @@ class BatchReport:
     note: str = ""
     parallelism: str = "serial"
     """Effective intra-chase sharding after the shared worker budget."""
+    branch_parallelism: str = "serial"
+    """Effective branch-race fan-out after the shared worker budget."""
     cache_stats: Optional[CacheStats] = None
     """Parent-process cache counters (serial runs only; pooled workers
     keep their own — use the per-record ``cache_hit`` flags, which are
@@ -94,6 +102,7 @@ class BatchReport:
             self.records,
             wall_seconds=self.wall_seconds,
             parallelism=self.parallelism,
+            branch_parallelism=self.branch_parallelism,
         )
 
 
@@ -154,10 +163,15 @@ def _execute(
         family=spec.family,
         params=spec.params_dict(),
         parallelism=options.parallelism,
+        branch_parallelism=options.branch_parallelism,
     )
     chase_config = (
-        ChaseConfig(parallelism=options.parallelism)
+        ChaseConfig(
+            parallelism=options.parallelism,
+            branch_parallelism=options.branch_parallelism,
+        )
         if options.parallelism != "serial"
+        or options.branch_parallelism != "serial"
         else None
     )
     start = time.perf_counter()
@@ -214,6 +228,7 @@ def _execute(
             record.rounds = outcome.chase.stats.rounds
             record.scenarios_tried = outcome.chase.scenarios_tried
             record.nulls_created = outcome.chase.stats.nulls_created
+            record.branch_timings = outcome.chase.branch_timings
     except _TaskTimeout:
         record.status = STATUS_TIMEOUT
         record.error = f"timed out after {options.timeout:g}s"
@@ -314,17 +329,35 @@ def run_batch(
     start = time.perf_counter()
     mode = "serial"
     parallelism = "serial"
+    branch_parallelism = "serial"
     if jobs > 1 and len(specs) > 1:
-        # Shared pool budget: every concurrent task's chase shards come
-        # out of the same cpu_count, so jobs × chase workers never
-        # oversubscribes the machine.
-        parallelism = effective_parallelism(options.parallelism, jobs, cpu_count)
+        # Shared pool budget: every concurrent task's branch racers and
+        # chase shards come out of the same cpu_count, so jobs × branch
+        # workers × chase workers never oversubscribes the machine.
+        branch_parallelism, parallelism = compose_parallelism(
+            jobs, options.branch_parallelism, options.parallelism, cpu_count
+        )
+        degraded = []
+        if branch_parallelism.startswith("process"):
+            branch_parallelism = (
+                "thread" + branch_parallelism[len("process"):]
+            )
+            degraded.append("branch racing")
         if parallelism.startswith("process"):
-            # Pool workers are daemonic and may not fork chase replicas;
-            # say so up front instead of silently degrading per task.
             parallelism = "thread" + parallelism[len("process"):]
-            note = "pool workers cannot fork; intra-chase sharding uses threads"
-        pooled_options = replace(options, parallelism=parallelism)
+            degraded.append("intra-chase sharding")
+        if degraded:
+            # Pool workers are daemonic and may not fork; say so up
+            # front instead of silently degrading per task.
+            note = (
+                f"pool workers cannot fork; {' and '.join(degraded)} "
+                f"use threads"
+            )
+        pooled_options = replace(
+            options,
+            parallelism=parallelism,
+            branch_parallelism=branch_parallelism,
+        )
         try:
             records = _run_pool(corpus.name, specs, pooled_options, jobs)
             mode = "pool"
@@ -332,8 +365,14 @@ def run_batch(
             note = f"{exc}; degraded to serial"
             records = None
     if records is None:
-        parallelism = effective_parallelism(options.parallelism, 1, cpu_count)
-        serial_options = replace(options, parallelism=parallelism)
+        branch_parallelism, parallelism = compose_parallelism(
+            1, options.branch_parallelism, options.parallelism, cpu_count
+        )
+        serial_options = replace(
+            options,
+            parallelism=parallelism,
+            branch_parallelism=branch_parallelism,
+        )
         if cache is None and options.use_cache:
             cache = RewriteCache(
                 capacity=options.cache_capacity, directory=options.cache_dir
@@ -357,5 +396,6 @@ def run_batch(
         jobs=jobs_used,
         note=note,
         parallelism=parallelism,
+        branch_parallelism=branch_parallelism,
         cache_stats=cache.stats if cache is not None else None,
     )

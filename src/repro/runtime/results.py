@@ -52,6 +52,13 @@ class TaskRecord:
     parallelism: str = "serial"
     """Effective intra-chase sharding for this task (``serial``,
     ``thread:N`` or ``process:N``) after the shared worker budget."""
+    branch_parallelism: str = "serial"
+    """Effective branch-race fan-out of the disjunctive search for this
+    task, after the shared worker budget."""
+    branch_timings: Optional[List[Dict[str, object]]] = None
+    """Per derived-scenario timings from the greedy ded sweep (canonical
+    selection order up to the winner): ``index``, ``selection``,
+    ``status``, ``seconds``, ``worker``."""
 
     cache_hit: bool = False
     build_seconds: float = 0.0
@@ -118,6 +125,8 @@ class BatchSummary:
     wall_seconds: float = 0.0
     parallelism: str = "serial"
     """Intra-chase sharding mode the run's tasks used."""
+    branch_parallelism: str = "serial"
+    """Branch-race fan-out the run's disjunctive searches used."""
     by_family: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -144,9 +153,14 @@ def summarize(
     records: Iterable[TaskRecord],
     wall_seconds: float = 0.0,
     parallelism: str = "serial",
+    branch_parallelism: str = "serial",
 ) -> BatchSummary:
     """Fold task records into one :class:`BatchSummary`."""
-    summary = BatchSummary(wall_seconds=wall_seconds, parallelism=parallelism)
+    summary = BatchSummary(
+        wall_seconds=wall_seconds,
+        parallelism=parallelism,
+        branch_parallelism=branch_parallelism,
+    )
     for record in records:
         summary.total += 1
         summary.by_family[record.family] = (

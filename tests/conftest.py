@@ -1,10 +1,46 @@
-"""Shared fixtures: the paper's running example and small instances."""
+"""Shared fixtures: the paper's running example and small instances.
+
+Also registers the hypothesis profiles the property suites run under:
+
+* ``dev`` (default) — a quick pass for the local tier-1 suite;
+* ``ci`` — more examples, derandomized so every CI run checks the same
+  example set (a red CI run is reproducible by definition);
+* ``deep`` — the ``make fuzz`` profile: many examples, fresh randomness
+  each run, for actually *finding* new failing seeds (which then get
+  pinned as ``@example`` lines in the test files).
+
+Select one with ``HYPOTHESIS_PROFILE=<name>``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.rewriter import rewrite
+
+settings.register_profile(
+    "dev",
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=40,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "deep",
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 from repro.core.scenario import MappingScenario
 from repro.relational.instance import Instance
 from repro.scenarios.running_example import (

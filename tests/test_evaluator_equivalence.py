@@ -15,13 +15,14 @@ from repro.core.rewriter import rewrite
 from repro.logic.homomorphism import homomorphically_equivalent
 from repro.pipeline import run_rewritten
 from repro.relational.query import reference_evaluator
-from repro.runtime.corpus import DEFAULT_CORPUS, get_corpus
 from repro.runtime.fingerprint import fingerprint_instance
 
-CORPUS = get_corpus(DEFAULT_CORPUS)
+from corpus import pipeline_specs
+
+CORPUS = pipeline_specs()
 
 
-@pytest.mark.parametrize("spec", list(CORPUS), ids=[s.label for s in CORPUS])
+@pytest.mark.parametrize("spec", CORPUS, ids=[s.label for s in CORPUS])
 def test_chase_results_identical_across_evaluators(spec):
     built = spec.build()
     rewritten = rewrite(built.scenario)

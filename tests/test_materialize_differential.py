@@ -25,9 +25,10 @@ from repro.datalog.evaluate import (
     materialize_naive,
 )
 from repro.pipeline import run_scenario
-from repro.runtime.corpus import DEFAULT_CORPUS, get_corpus
 
-CORPUS = get_corpus(DEFAULT_CORPUS)
+from corpus import pipeline_specs
+
+CORPUS = pipeline_specs()
 
 
 def _programs_and_instances(spec):
@@ -44,7 +45,7 @@ def _programs_and_instances(spec):
     return pairs
 
 
-@pytest.mark.parametrize("spec", list(CORPUS), ids=[s.label for s in CORPUS])
+@pytest.mark.parametrize("spec", CORPUS, ids=[s.label for s in CORPUS])
 def test_seminaive_extents_match_naive_reference(spec):
     for program, instance in _programs_and_instances(spec):
         fast = materialize(program, instance, include_base=True)
@@ -52,7 +53,7 @@ def test_seminaive_extents_match_naive_reference(spec):
         assert fast == slow, spec.label
 
 
-@pytest.mark.parametrize("spec", list(CORPUS), ids=[s.label for s in CORPUS])
+@pytest.mark.parametrize("spec", CORPUS, ids=[s.label for s in CORPUS])
 def test_incremental_database_matches_cold_materialization(spec):
     for program, instance in _programs_and_instances(spec):
         facts = sorted(instance, key=str)

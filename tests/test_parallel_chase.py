@@ -15,6 +15,7 @@ import os
 
 import pytest
 
+from repro.chase.ded import GreedyDedChase
 from repro.chase.engine import ChaseConfig, StandardChase
 from repro.chase.parallel import (
     MatchSharder,
@@ -28,25 +29,39 @@ from repro.chase.parallel import (
 from repro.core.rewriter import rewrite
 from repro.core.verify import ScenarioVerifier
 from repro.errors import ChaseError
-from repro.logic.atoms import Atom, Conjunction, Equality
-from repro.logic.dependencies import denial, egd, tgd
+from repro.logic.atoms import Atom, Conjunction
+from repro.logic.dependencies import tgd
 from repro.logic.terms import Constant, Variable
 from repro.pipeline import run_rewritten
 from repro.relational.instance import Instance, ProbeView
 from repro.runtime.corpus import get_corpus
+
+from corpus import (
+    BLOOM_SPILL,
+    chase_cases,
+    dense_pair_instance as _dense_pair_instance,
+)
 
 MODES = ["thread:2", "process:2"]
 
 x, y, z = Variable("x"), Variable("y"), Variable("z")
 
 
-def _dense_pair_instance(rows: int = 60) -> Instance:
-    """Enough facts to clear the sharders' MIN_SHARD_FACTS threshold."""
-    instance = Instance()
-    for i in range(rows):
-        instance.add(Atom("S", (Constant(i), Constant(i % 7))))
-        instance.add(Atom("R", (Constant(i % 7), Constant(i % 5))))
-    return instance
+def _run_case(setup, mode=None):
+    """Chase a corpus case under a parallelism mode (None = serial)."""
+    config = setup.config or ChaseConfig()
+    if mode is not None:
+        from dataclasses import replace
+
+        config = replace(config, parallelism=mode)
+    dependencies = list(setup.dependencies)
+    if any(d.is_ded() for d in dependencies):
+        engine = GreedyDedChase(
+            dependencies, setup.source_relations, config
+        )
+    else:
+        engine = StandardChase(dependencies, setup.source_relations, config)
+    return engine.run(setup.instance)
 
 
 def _compare_results(serial, other, mode):
@@ -110,123 +125,38 @@ class TestCorpusDifferential:
         assert outcome.chase.scenarios_tried == baseline.chase.scenarios_tried
 
 
-class TestFailingScenarios:
-    """Failure outcomes (denials, egd constant clashes) match exactly."""
+class TestChaseCaseDifferential:
+    """Every registered chase case (failing, recursive, disjunctive,
+    Bloom-spill) produces identical results under every sharder."""
 
+    @pytest.mark.parametrize(
+        "case", chase_cases(), ids=lambda c: c.label
+    )
     @pytest.mark.parametrize("mode", MODES)
-    def test_denial_failure_identical(self, mode):
-        deps = [
-            tgd(
-                Conjunction(atoms=(Atom("S", (x, y)), Atom("R", (y, z)))),
-                (Atom("T", (x, z)),),
-                name="copy",
-            ),
-            denial(Conjunction(atoms=(Atom("T", (x, x)),)), name="no_loop"),
-        ]
-        source = _dense_pair_instance()
-        serial = StandardChase(deps, ("S", "R")).run(source)
-        sharded = StandardChase(
-            deps, ("S", "R"), ChaseConfig(parallelism=mode)
-        ).run(source)
-        assert not serial.ok
-        _compare_results(serial, sharded, mode)
-
-    @pytest.mark.parametrize("mode", MODES)
-    def test_egd_constant_clash_identical(self, mode):
-        deps = [
-            egd(
-                Conjunction(atoms=(Atom("S", (x, y)), Atom("S", (x, z)))),
-                (Equality(y, z),),
-                name="key",
-            ),
-        ]
-        source = _dense_pair_instance()
-        # Two constant values under one key: the egd must hard-fail.
-        source.add(Atom("S", (Constant(3), Constant(998))))
-        source.add(Atom("S", (Constant(7), Constant(999))))
-        serial = StandardChase(deps, ()).run(source)
-        sharded = StandardChase(
-            deps, (), ChaseConfig(parallelism=mode)
-        ).run(source)
-        assert not serial.ok
-        _compare_results(serial, sharded, mode)
-
-    @pytest.mark.parametrize("mode", MODES)
-    def test_cross_dependency_round_feed_identical(self, mode):
-        # Dep 0 enforces facts that feed dep 1's premise *within* later
-        # delta rounds: the parent chases with the round's frozen delta,
-        # so replica workers must not fold same-round insertions into
-        # their recomputed delta (regression: the process sharder once
-        # cleared its delta cache on every event replay).
-        deps = [
-            tgd(
-                Conjunction(atoms=(Atom("P", (x, y)), Atom("Q", (y, z)))),
-                (Atom("P", (x, z)),),
-                name="close",
-            ),
-            tgd(
-                Conjunction(atoms=(Atom("P", (x, y)),)),
-                (Atom("R", (x, y, z)),),  # z existential
-                name="tag",
-            ),
-        ]
-        source = Instance()
-        for chain in range(40):  # chains long enough for several rounds
-            base = chain * 10
-            for hop in range(4):
-                source.add(
-                    Atom("Q", (Constant(base + hop), Constant(base + hop + 1)))
-                )
-            source.add(Atom("P", (Constant(base - 1), Constant(base))))
-        serial = StandardChase(deps, ("Q",)).run(source)
-        sharded = StandardChase(
-            deps, ("Q",), ChaseConfig(parallelism=mode)
-        ).run(source)
-        assert serial.ok and serial.stats.rounds > 3
-        _compare_results(serial, sharded, mode)
-
-    @pytest.mark.parametrize("mode", MODES)
-    def test_null_unification_identical(self, mode):
-        # tgd invents nulls, egd then unifies them: the canonical-order
-        # merge must reproduce the exact same null ids and unions.
-        deps = [
-            tgd(
-                Conjunction(atoms=(Atom("S", (x, y)),)),
-                (Atom("T", (x, z)),),  # z existential -> fresh null per x
-                name="invent",
-            ),
-            egd(
-                Conjunction(atoms=(Atom("T", (x, y)), Atom("T", (x, z)))),
-                (Equality(y, z),),
-                name="unify",
-            ),
-        ]
-        source = _dense_pair_instance()
-        serial = StandardChase(deps, ("S", "R")).run(source)
-        sharded = StandardChase(
-            deps, ("S", "R"), ChaseConfig(parallelism=mode)
-        ).run(source)
-        assert serial.ok
-        _compare_results(serial, sharded, mode)
-        assert serial.stats.nulls_created > 0
+    def test_sharded_matches_serial(self, case, mode):
+        serial = _run_case(case.build())
+        case.check_baseline(serial)  # the case still bites
+        sharded = _run_case(case.build(), mode)
+        _compare_results(serial, sharded, f"{case.label}/{mode}")
+        if "failing" in case.flags:
+            assert not serial.ok, case.label
+        if "disjunctive" in case.flags:
+            assert sharded.scenarios_tried == serial.scenarios_tried
+            assert sharded.branch_selection == serial.branch_selection
 
 
 class TestTriggerMemoryUnderParallelism:
     @pytest.mark.parametrize("mode", ["serial"] + MODES)
     def test_bloom_spill_matches_serial(self, mode):
-        deps = [
-            tgd(
-                Conjunction(atoms=(Atom("S", (x, y)),)),
-                (Atom("T", (x, y)),),
-                name="copy",
-            ),
-        ]
-        source = _dense_pair_instance()
-        config = ChaseConfig(
-            policy="oblivious", oblivious_trigger_limit=5, parallelism=mode
+        from dataclasses import replace
+
+        [case] = chase_cases(require={BLOOM_SPILL})
+        setup = case.build()
+        config = replace(setup.config, parallelism=mode)
+        engine = StandardChase(
+            list(setup.dependencies), setup.source_relations, config
         )
-        engine = StandardChase(deps, ("S", "R"), config)
-        result = engine.run(source)
+        result = engine.run(setup.instance)
         assert result.ok
         memory = engine._trigger_memory
         assert memory.exact_size == 5
