@@ -39,12 +39,20 @@ import argparse
 import glob
 import json
 import os
+import re
 import statistics
 import sys
 from typing import Dict, Iterator, List, Tuple
 
-LOWER_IS_BETTER = ("seconds", "per_probe", "elapsed", "wall")
-HIGHER_IS_BETTER = ("speedup", "throughput", "per_sec", "per_second", "rate")
+# p50/p99 cover the flight recorder's per-phase latency digests
+# (BENCH_trace_phases.json and BatchSummary.phase_latencies leaves).
+LOWER_IS_BETTER = ("seconds", "per_probe", "elapsed", "wall", "p50", "p99")
+HIGHER_IS_BETTER = (
+    "speedup", "throughput", "per_sec", "per_second", "coverage"
+)
+# Token-matched, not substring-matched: "rate" as a substring would
+# capture phase names like "chase.enumerate".
+HIGHER_IS_BETTER_TOKENS = ("rate",)
 
 
 def flatten(payload: object, prefix: str = "") -> Iterator[Tuple[str, float]]:
@@ -66,6 +74,9 @@ def direction(path: str) -> int:
         return 1
     if any(marker in lowered for marker in LOWER_IS_BETTER):
         return -1
+    tokens = re.split(r"[^a-z0-9]+", lowered)
+    if any(marker in tokens for marker in HIGHER_IS_BETTER_TOKENS):
+        return 1
     return 0
 
 
@@ -213,9 +224,34 @@ def main(argv: List[str]) -> int:
             f"trend: {len(regressions)} metric(s) regressed more than "
             f"{args.threshold:.0%}"
         )
+        write_step_summary(regressions, args.threshold)
         return 1
     print("trend: no regressions past the threshold")
     return 0
+
+
+def write_step_summary(regressions: List[str], threshold: float) -> None:
+    """Surface flagged regressions on the GitHub Actions run summary.
+
+    ``$GITHUB_STEP_SUMMARY`` is a file CI appends markdown to; outside
+    Actions (or when the file is unwritable) this is a silent no-op so
+    local runs behave identically.
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        "### Bench trend: regressions past "
+        f"{threshold:.0%} vs the window median",
+        "",
+    ]
+    lines.extend(f"- `{line}`" for line in regressions)
+    lines.append("")
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines))
+    except OSError as exc:
+        print(f"trend: cannot write step summary: {exc}", file=sys.stderr)
 
 
 if __name__ == "__main__":

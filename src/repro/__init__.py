@@ -23,7 +23,8 @@ Subpackages: :mod:`repro.logic` (terms/atoms/dependencies),
 :mod:`repro.relational` (schemas/instances/evaluation),
 :mod:`repro.datalog` (view language), :mod:`repro.core` (the rewriter),
 :mod:`repro.chase` (chase engines), :mod:`repro.scenarios` (workloads),
-:mod:`repro.dsl` (textual scenario format).
+:mod:`repro.dsl` (textual scenario format), :mod:`repro.obs` (the
+flight recorder: spans, metrics, trace files, phase profiling).
 """
 
 from repro.chase import (
@@ -66,6 +67,14 @@ from repro.logic import (
     egd,
     tgd,
 )
+from repro.obs import (
+    FlightRecorder,
+    TraceConfig,
+    profile_trace,
+    read_trace,
+    render_profile,
+    write_trace,
+)
 from repro.pipeline import (
     PipelineResult,
     run_rewritten,
@@ -104,6 +113,13 @@ __all__ = [
     "RewriteCache",
     "fingerprint_scenario",
     "fingerprint_instance",
+    # observability
+    "TraceConfig",
+    "FlightRecorder",
+    "read_trace",
+    "write_trace",
+    "profile_trace",
+    "render_profile",
     # core
     "MappingScenario",
     "rewrite",

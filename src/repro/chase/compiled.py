@@ -146,6 +146,13 @@ class CompiledDependency:
         """
         return self._premise.anchor_matches(working, anchor_index, restrict)
 
+    # -- observability -----------------------------------------------------
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The dependency's plan cache (counter harvest for ``plan.*``)."""
+        return self._cache
+
     # -- satisfaction ------------------------------------------------------
 
     def disjunct_satisfied(

@@ -41,6 +41,7 @@ from repro.chase.parallel import (
 )
 from repro.chase.race import ProcessRacer, create_racer
 from repro.chase.result import ChaseResult, ChaseStats, ChaseStatus
+from repro.obs.recorder import TraceConfig, resolve_recorder
 from repro.logic.dependencies import Dependency, Disjunct
 from repro.relational.instance import Instance
 
@@ -164,6 +165,7 @@ class GreedyDedChase:
         self,
         source_instance: Instance,
         target_instance: Optional[Instance] = None,
+        recorder=None,
     ) -> ChaseResult:
         """Try derived scenarios until one chases to success.
 
@@ -178,20 +180,44 @@ class GreedyDedChase:
         so status, target, statistics and ``scenarios_tried`` are
         bit-identical to the serial sweep; losers past the winner are
         cancelled early.
+
+        ``recorder`` follows the engine convention: an external recorder
+        keeps the trace; otherwise one is built from ``config.trace``
+        and its payload lands on ``ChaseResult.trace``.  Raced branches
+        always record into their own recorder and ship the payload home
+        on the branch result (over the racer's existing pickle channel);
+        the parent folds the payloads in canonical selection order, so
+        the merged trace is deterministic and structurally identical to
+        the serial sweep's.
         """
+        rec = resolve_recorder(recorder, self.config.trace)
+        owned_rec = recorder is None and rec.enabled
         selections = list(
             itertools.islice(self.selections(), self.max_scenarios)
         )
         _mode, workers = parse_parallelism(self.config.branch_parallelism)
-        if workers > 1 and len(selections) > 1:
-            return self._run_raced(selections, source_instance, target_instance)
-        return self._run_serial(selections, source_instance, target_instance)
+        with rec.span(
+            "chase.search",
+            selections=len(selections),
+            racing=self.config.branch_parallelism,
+        ):
+            if workers > 1 and len(selections) > 1:
+                result = self._run_raced(
+                    selections, source_instance, target_instance, rec
+                )
+            else:
+                result = self._run_serial(
+                    selections, source_instance, target_instance, rec
+                )
+        result.trace = rec.to_payload() if owned_rec else None
+        return result
 
     def _run_serial(
         self,
         selections: List[Tuple[int, ...]],
         source_instance: Instance,
         target_instance: Optional[Instance],
+        rec,
     ) -> ChaseResult:
         start = time.perf_counter()
         aggregate = ChaseStats()
@@ -215,13 +241,14 @@ class GreedyDedChase:
                     sharder=sharder,
                 )
                 step = time.perf_counter()
-                result = engine.run(source_instance, target_instance)
-                timings.append(
-                    _branch_timing(
-                        tried - 1, selection, result,
-                        time.perf_counter() - step, "serial",
-                    )
+                result = engine.run(
+                    source_instance, target_instance, recorder=rec
                 )
+                seconds = time.perf_counter() - step
+                timings.append(
+                    _branch_timing(tried - 1, selection, result, seconds, "serial")
+                )
+                rec.observe("race.branch_seconds", seconds)
                 aggregate = aggregate.merge(result.stats)
                 if result.ok:
                     result.stats = aggregate
@@ -243,7 +270,9 @@ class GreedyDedChase:
                     sharder=sharder,
                 )
                 step = time.perf_counter()
-                last = engine.run(source_instance, target_instance)
+                last = engine.run(
+                    source_instance, target_instance, recorder=rec
+                )
                 timings.append(
                     _branch_timing(
                         0, (), last, time.perf_counter() - step, "serial"
@@ -259,9 +288,17 @@ class GreedyDedChase:
         selections: List[Tuple[int, ...]],
         source_instance: Instance,
         target_instance: Optional[Instance],
+        rec,
     ) -> ChaseResult:
         start = time.perf_counter()
         racer = create_racer(self.config.branch_parallelism)
+        # Branches record into their own recorder (fork/thread-safe) and
+        # ship the payload on the result; make sure the branch config asks
+        # for one whenever this sweep is being traced at all (the trace
+        # may have been handed down as an external recorder).
+        branch_trace = self.config.trace
+        if rec.enabled and (branch_trace is None or not branch_trace.enabled):
+            branch_trace = TraceConfig(enabled=True)
         # Every raced branch chases under the shared CPU budget: its
         # intra-chase shards divide the per-branch share, and nested
         # racing is off (one level of fan-out is the whole budget).
@@ -271,6 +308,7 @@ class GreedyDedChase:
                 self.config.parallelism, jobs=racer.workers
             ),
             branch_parallelism="serial",
+            trace=branch_trace,
         )
         # Forked race workers inherit the sweep's compiled plans
         # copy-on-write; racing *threads* must not share mutable plan
@@ -319,6 +357,15 @@ class GreedyDedChase:
         aggregate = ChaseStats()
         for outcome in ordered:
             aggregate = aggregate.merge(outcome.result.stats)
+        if rec.enabled:
+            # Fold branch traces home in canonical selection order: the
+            # merged span sequence matches what the serial sweep records.
+            for outcome in ordered:
+                rec.merge_payload(outcome.result.trace, worker=outcome.worker)
+                outcome.result.trace = None
+                rec.observe("race.branch_seconds", outcome.seconds)
+            rec.count("race.branches", len(ordered))
+            rec.count("race.skipped", len(selections) - race.tried)
         if race.winner is not None:
             selection = selections[race.winner]
             result = race.outcomes[race.winner].result

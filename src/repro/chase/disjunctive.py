@@ -49,6 +49,7 @@ from repro.chase.engine import (
     _resolve,
 )
 from repro.chase.parallel import parse_parallelism
+from repro.obs.recorder import resolve_recorder
 from repro.logic.atoms import Atom, Conjunction
 from repro.logic.dependencies import Dependency, Disjunct
 from repro.logic.homomorphism import exists_homomorphism
@@ -77,6 +78,9 @@ class DisjunctiveResult:
     truncated: bool = False
     elapsed_seconds: float = 0.0
     branch_racing: str = "serial"
+    trace: Optional[Dict[str, object]] = None
+    """Flight-recorder payload when the run owned its recorder (tracing
+    enabled on the config, no external recorder passed)."""
 
     @property
     def satisfiable(self) -> bool:
@@ -230,12 +234,17 @@ class DisjunctiveChase:
         # except the parallel knobs: tree nodes are small and many, so
         # the parallel unit is the node (speculative prefetch), never
         # shards or races *inside* one node's chase.
+        # (Tracing too: tree nodes are chased by worker threads whose
+        # per-node recorders could not merge deterministically — the
+        # search is instrumented at the driver level instead.)
         self.config = dataclasses.replace(
             base,
             keep_working=True,
             parallelism="serial",
             branch_parallelism="serial",
+            trace=None,
         )
+        self.trace_config = base.trace
         self.branch_parallelism = base.branch_parallelism
         self.max_leaves = max_leaves
         self.max_branch_depth = max_branch_depth
@@ -249,6 +258,7 @@ class DisjunctiveChase:
         source_instance: Instance,
         first_only: bool = False,
         minimize: bool = False,
+        recorder=None,
     ) -> DisjunctiveResult:
         """Compute the universal model set (or just the first model).
 
@@ -256,6 +266,8 @@ class DisjunctiveChase:
         homomorphically, yielding a ⊆-minimal universal model set.
         """
         start = time.perf_counter()
+        rec = resolve_recorder(recorder, self.trace_config)
+        owned_rec = recorder is None and rec.enabled
         result = DisjunctiveResult()
         factory = NullFactory()
         root = Instance()
@@ -265,14 +277,24 @@ class DisjunctiveChase:
         _mode, workers = parse_parallelism(self.branch_parallelism)
         # The oblivious policy's Bloom spill digests absolute null ids,
         # which a speculative shift would perturb — stay serial there.
-        if workers > 1 and self.config.policy != "oblivious":
-            result.branch_racing = f"thread:{workers}"
-            self._explore_speculative(root, factory, result, first_only, workers)
-        else:
-            self._explore_serial(root, factory, result, first_only)
-        if minimize:
-            result.models = _minimize_models(result.models)
+        with rec.span("chase.disjunctive", racing=self.branch_parallelism):
+            if workers > 1 and self.config.policy != "oblivious":
+                result.branch_racing = f"thread:{workers}"
+                self._explore_speculative(
+                    root, factory, result, first_only, workers
+                )
+            else:
+                self._explore_serial(root, factory, result, first_only)
+            if minimize:
+                result.models = _minimize_models(result.models)
+        if rec.enabled:
+            rec.count("disjunctive.leaves", result.leaves)
+            rec.count("disjunctive.failures", result.failures)
+            rec.count("disjunctive.branchings", result.branchings)
+            rec.count("disjunctive.models", len(result.models))
         result.elapsed_seconds = time.perf_counter() - start
+        if owned_rec:
+            result.trace = rec.to_payload()
         return result
 
     # -- tree drivers ------------------------------------------------------------

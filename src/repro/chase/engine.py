@@ -51,6 +51,7 @@ from repro.chase.compiled import (
 )
 from repro.chase.parallel import MatchSharder, create_sharder
 from repro.chase.result import ChaseResult, ChaseStats, ChaseStatus
+from repro.obs.recorder import TraceConfig, resolve_recorder
 from repro.logic.atoms import Atom
 from repro.logic.dependencies import Dependency, Disjunct
 from repro.logic.terms import Null, NullFactory, Term, Variable
@@ -92,6 +93,11 @@ class ChaseConfig:
     chase prefetches tree nodes; winner selection is canonical (lowest
     selection index / DFS order), so results are bit-identical to the
     serial sweep — see :mod:`repro.chase.race`."""
+
+    trace: Optional[TraceConfig] = None
+    """Flight-recorder knobs (:class:`repro.obs.TraceConfig`).  ``None``
+    or a disabled config means the chase runs uninstrumented — every
+    probe degrades to a no-op on the shared null recorder."""
 
 
 class _NullMap:
@@ -320,13 +326,23 @@ class StandardChase:
         source_instance: Instance,
         target_instance: Optional[Instance] = None,
         null_factory: Optional[NullFactory] = None,
+        recorder=None,
     ) -> ChaseResult:
         """Chase ``source_instance`` (plus optional pre-existing target).
 
         Returns SUCCESS with the produced target, FAILURE when the
         scenario is unsatisfiable, or NONTERMINATION past the budget.
+
+        ``recorder`` is an externally-owned flight recorder (the caller
+        keeps the trace); when omitted, one is built from
+        ``config.trace`` and its payload is attached to
+        ``ChaseResult.trace`` — or everything no-ops on the shared null
+        recorder when tracing is off.
         """
         start = time.perf_counter()
+        rec = resolve_recorder(recorder, self.config.trace)
+        owned_rec = recorder is None and rec.enabled
+        plan_mark = self._plan_counters() if rec.enabled else (0, 0, 0)
         working = Instance()
         for fact in source_instance:
             working.add(fact)
@@ -342,21 +358,30 @@ class StandardChase:
         owned = sharder is None
         if owned:
             sharder = create_sharder(self.config.parallelism)
-        try:
-            sharder.begin_run(working, self.compiled)
+        with rec.span(
+            "chase.run",
+            dependencies=len(self.dependencies),
+            parallelism=self.config.parallelism,
+        ):
+            sharder.set_recorder(rec)
             try:
-                self._chase_rounds(working, factory, stats, sharder)
-            except ChaseFailure as failure:
-                status = ChaseStatus.FAILURE
-                reason = str(failure)
-            except ChaseNonTermination as overrun:
-                status = ChaseStatus.NONTERMINATION
-                reason = str(overrun)
-        finally:
-            sharder.end_run()
-            if owned:
-                sharder.close()
+                sharder.begin_run(working, self.compiled)
+                try:
+                    self._chase_rounds(working, factory, stats, sharder, rec)
+                except ChaseFailure as failure:
+                    status = ChaseStatus.FAILURE
+                    reason = str(failure)
+                except ChaseNonTermination as overrun:
+                    status = ChaseStatus.NONTERMINATION
+                    reason = str(overrun)
+            finally:
+                sharder.end_run()
+                sharder.set_recorder(None)
+                if owned:
+                    sharder.close()
         stats.elapsed_seconds = time.perf_counter() - start
+        if rec.enabled:
+            self._harvest_metrics(rec, stats, working, plan_mark)
         target = self._extract_target(working)
         return ChaseResult(
             status=status,
@@ -365,7 +390,49 @@ class StandardChase:
             stats=stats,
             failure_reason=reason,
             sharding=sharder.describe(),
+            trace=rec.to_payload() if owned_rec else None,
         )
+
+    def _plan_counters(self) -> Tuple[int, int, int]:
+        """Summed plan-cache counters across this engine's dependencies."""
+        compiles = recompiles = served = 0
+        for compiled in self.compiled:
+            cache = compiled.plan_cache
+            compiles += cache.compiles
+            recompiles += cache.recompiles
+            served += cache.served
+        return compiles, recompiles, served
+
+    def _harvest_metrics(
+        self,
+        rec,
+        stats: ChaseStats,
+        working: Instance,
+        plan_mark: Tuple[int, int, int],
+    ) -> None:
+        """Fold this run's statistics into the recorder.
+
+        ``chase.*`` counters mirror :class:`ChaseStats` and are
+        bit-identical across execution tiers; ``plan.*`` /
+        ``instance.*`` describe this process's caches and may
+        legitimately differ (racing threads compile private plans,
+        replicas build their own indexes).  Plan counters are *deltas*
+        against the run's start because the greedy ded search reuses one
+        compiled plan set across every derived scenario.
+        """
+        rec.count("chase.runs")
+        rec.count("chase.rounds", stats.rounds)
+        rec.count("chase.tgd_fires", stats.tgd_fires)
+        rec.count("chase.egd_unifications", stats.egd_unifications)
+        rec.count("chase.facts_created", stats.facts_created)
+        rec.count("chase.nulls_created", stats.nulls_created)
+        rec.count("chase.premise_matches", stats.premise_matches)
+        rec.count("chase.null_rewrites", stats.null_rewrites)
+        compiles, recompiles, served = self._plan_counters()
+        rec.count("plan.compiles", compiles - plan_mark[0])
+        rec.count("plan.recompiles", recompiles - plan_mark[1])
+        rec.count("plan.served", served - plan_mark[2])
+        rec.count("instance.index_builds", working.index_builds)
 
     # -- internals ----------------------------------------------------------------
 
@@ -382,6 +449,7 @@ class StandardChase:
         factory: NullFactory,
         stats: ChaseStats,
         sharder: MatchSharder,
+        rec,
     ) -> None:
         fired_triggers = _TriggerMemory(self.config.oblivious_trigger_limit)
         # Exposed for memory-growth regression tests.
@@ -398,12 +466,17 @@ class StandardChase:
             sharder.record_generation()
             sharder.begin_round(delta, since)
             rewrites_this_round = 0
-            for index, dependency in enumerate(self.dependencies):
-                rewrites_this_round += self._apply_dependency(
-                    index, dependency, working, factory, stats, sharder,
-                    fired_triggers,
-                )
-            new_facts = set(working.facts_since(generation))
+            with rec.span(
+                "chase.round", round=stats.rounds, full=delta is None
+            ) as round_span:
+                for index, dependency in enumerate(self.dependencies):
+                    rewrites_this_round += self._apply_dependency(
+                        index, dependency, working, factory, stats, sharder,
+                        fired_triggers, rec,
+                    )
+                new_facts = set(working.facts_since(generation))
+                if rec.enabled:
+                    round_span.annotate(new_facts=len(new_facts))
             if self.config.max_facts is not None and len(working) > self.config.max_facts:
                 raise ChaseNonTermination(
                     f"exceeded {self.config.max_facts} facts"
@@ -424,6 +497,7 @@ class StandardChase:
         stats: ChaseStats,
         sharder: MatchSharder,
         fired_triggers: "_TriggerMemory",
+        rec,
     ) -> int:
         """Process one dependency for one round; returns #null-rewrites.
 
@@ -434,7 +508,10 @@ class StandardChase:
         stay in lockstep with the working instance.
         """
         compiled = self.compiled[index]
-        matches = sharder.enumerate_matches(index)
+        with rec.span("chase.enumerate", dependency=index) as enum_span:
+            matches = sharder.enumerate_matches(index)
+            if rec.enabled:
+                enum_span.annotate(matches=len(matches))
         if not matches:
             return 0
         stats.premise_matches += len(matches)
@@ -452,35 +529,38 @@ class StandardChase:
         chosen = dependency.disjuncts[self.branch_choice.get(index, 0)]
         null_map = _NullMap()
         rewrites = 0
-        ordered = sorted(matches, key=_binding_order)
-        track_events = sharder.wants_replica_events
-        if track_events:
-            mark = working.bump_generation()
-            sharder.record_generation()
-        for binding in ordered:
-            resolved = {
-                variable: null_map.find(term) for variable, term in binding.items()
-            }
-            trigger = (
-                index,
-                tuple(resolved[v] for v in sorted(resolved)),
-            )
-            if self.config.policy == "oblivious":
-                if trigger in fired_triggers:
+        with rec.span("chase.enforce", dependency=index, matches=len(matches)):
+            ordered = sorted(matches, key=_binding_order)
+            track_events = sharder.wants_replica_events
+            if track_events:
+                mark = working.bump_generation()
+                sharder.record_generation()
+            for binding in ordered:
+                resolved = {
+                    variable: null_map.find(term)
+                    for variable, term in binding.items()
+                }
+                trigger = (
+                    index,
+                    tuple(resolved[v] for v in sorted(resolved)),
+                )
+                if self.config.policy == "oblivious":
+                    if trigger in fired_triggers:
+                        continue
+                    fired_triggers.add(trigger)
+                elif compiled.satisfied(resolved, working):
                     continue
-                fired_triggers.add(trigger)
-            elif compiled.satisfied(resolved, working):
-                continue
-            self._enforce_disjunct(
-                dependency, chosen, resolved, working, factory, stats, null_map
-            )
-        if track_events:
-            sharder.record_new_facts(working.facts_since(mark))
-        if len(null_map):
-            resolution = null_map.resolution()
-            rewrites = working.apply_null_map(resolution)
-            stats.null_rewrites += rewrites
-            sharder.record_null_map(resolution)
+                self._enforce_disjunct(
+                    dependency, chosen, resolved, working, factory, stats,
+                    null_map,
+                )
+            if track_events:
+                sharder.record_new_facts(working.facts_since(mark))
+            if len(null_map):
+                resolution = null_map.resolution()
+                rewrites = working.apply_null_map(resolution)
+                stats.null_rewrites += rewrites
+                sharder.record_null_map(resolution)
         return rewrites
 
     def _enforce_disjunct(

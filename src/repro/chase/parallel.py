@@ -42,11 +42,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ChaseError
 from repro.logic.atoms import Atom
+from repro.obs.recorder import NULL_RECORDER
 from repro.relational.instance import Instance
 from repro.relational.query import Binding
 
@@ -239,6 +241,18 @@ class MatchSharder:
     #: bumps, new facts, null maps) so remote replicas can stay in sync.
     wants_replica_events = False
 
+    #: The run's flight recorder (the shared null recorder when the
+    #: chase is untraced).  Worker-side enumeration timings are shipped
+    #: home as ``enumerate.worker`` spans and merged in a fixed worker
+    #: order, keeping the parent trace deterministic.
+    _recorder = NULL_RECORDER
+
+    def set_recorder(self, recorder) -> None:
+        """Attach the run's flight recorder (``None`` detaches).  Must be
+        called before ``begin_run``: the process sharder decides at fork
+        time whether replicas time their enumerations."""
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+
     def describe(self) -> str:
         if self.workers <= 1:
             return self.mode
@@ -354,11 +368,37 @@ class ThreadSharder(MatchSharder):
                     if chunk
                 )
         view = self._view
+        rec = self._recorder
+        if not rec.enabled:
+            futures = [
+                self._pool.submit(compiled.anchor_matches, view, anchor, chunk)
+                for anchor, chunk in units
+            ]
+            return _dedup_merge([future.result() for future in futures])
+
+        def timed(anchor: int, chunk: Set[Atom]):
+            begin = time.perf_counter()
+            result = compiled.anchor_matches(view, anchor, chunk)
+            return result, begin, time.perf_counter()
+
         futures = [
-            self._pool.submit(compiled.anchor_matches, view, anchor, chunk)
-            for anchor, chunk in units
+            self._pool.submit(timed, anchor, chunk) for anchor, chunk in units
         ]
-        return _dedup_merge([future.result() for future in futures])
+        shards: List[List[Binding]] = []
+        # Collect (and record) in unit order, not completion order, so the
+        # trace's span sequence is deterministic.
+        for unit, ((anchor, _chunk), future) in enumerate(zip(units, futures)):
+            result, begin, end = future.result()
+            shards.append(result)
+            rec.tracer.add_raw(
+                "enumerate.worker",
+                begin,
+                end,
+                worker=f"thread-{unit}",
+                anchor=anchor,
+                matches=len(result),
+            )
+        return _dedup_merge(shards)
 
 
 # ---------------------------------------------------------------------------
@@ -366,7 +406,9 @@ class ThreadSharder(MatchSharder):
 # ---------------------------------------------------------------------------
 
 
-def _replica_worker(conn, worker_id: int, worker_count: int, replica, compiled):
+def _replica_worker(
+    conn, worker_id: int, worker_count: int, replica, compiled, traced=False
+):
     """Loop of one forked enumeration worker.
 
     ``replica``/``compiled`` are copy-on-write images of the engine's
@@ -375,6 +417,12 @@ def _replica_worker(conn, worker_id: int, worker_count: int, replica, compiled):
     (generation bumps, fact inserts, null-map applications — all
     deterministic operations), so each round's delta is recomputed here
     from the mirrored generation window instead of being shipped.
+
+    When ``traced``, each enumeration is timed and the reply grows a
+    third element — ``{"spans": [...]}`` with one ``enumerate.worker``
+    span per request.  ``perf_counter`` is ``CLOCK_MONOTONIC`` on Linux
+    and forked children share the parent's clock, so the parent can
+    splice these spans into its own timeline unadjusted.
     """
     view = replica.probe_view()
     # The round's delta, frozen at the round's first enumeration (keyed
@@ -414,6 +462,7 @@ def _replica_worker(conn, worker_id: int, worker_count: int, replica, compiled):
             _, dep_index, spec = message
             dependency = compiled[dep_index]
             try:
+                begin = time.perf_counter() if traced else 0.0
                 out: List[Binding] = []
                 if spec[0] == "full":
                     anchor = spec[1]
@@ -447,7 +496,19 @@ def _replica_worker(conn, worker_id: int, worker_count: int, replica, compiled):
                             out.extend(
                                 dependency.anchor_matches(view, anchor, chunk)
                             )
-                conn.send(("ok", out))
+                if traced:
+                    span = {
+                        "id": 0,
+                        "parent": None,
+                        "name": "enumerate.worker",
+                        "start": begin,
+                        "end": time.perf_counter(),
+                        "worker": f"fork-{worker_id}",
+                        "attrs": {"dependency": dep_index, "matches": len(out)},
+                    }
+                    conn.send(("ok", out, {"spans": [span]}))
+                else:
+                    conn.send(("ok", out))
             except Exception as exc:  # report, keep serving
                 conn.send(("err", f"{type(exc).__name__}: {exc}"))
     except (EOFError, OSError, KeyboardInterrupt):
@@ -501,12 +562,16 @@ class ProcessSharder(MatchSharder):
         for dependency in compiled:
             dependency.warm_enumeration_plans(working)
         context = multiprocessing.get_context("fork")
+        traced = self._recorder.enabled
         try:
             for worker_id in range(self.workers):
                 parent_end, child_end = context.Pipe()
                 process = context.Process(
                     target=_replica_worker,
-                    args=(child_end, worker_id, self.workers, working, compiled),
+                    args=(
+                        child_end, worker_id, self.workers, working, compiled,
+                        traced,
+                    ),
                     daemon=True,
                     name=f"chase-replica-{worker_id}",
                 )
@@ -621,14 +686,20 @@ class ProcessSharder(MatchSharder):
             for conn in self._connections:
                 conn.send(("enum", index, spec))
             shards: List[List[Binding]] = []
+            rec = self._recorder
+            # Replies are collected in connection order — worker spans
+            # merge into the parent trace deterministically.
             for conn in self._connections:
-                status, payload = conn.recv()
+                reply = conn.recv()
+                status, payload = reply[0], reply[1]
                 if status != "ok":
                     raise ChaseError(
                         f"parallel chase worker failed during enumeration: "
                         f"{payload}"
                     )
                 shards.append(payload)
+                if len(reply) > 2 and rec.enabled:
+                    rec.tracer.merge_records(reply[2].get("spans", ()))
         except (BrokenPipeError, EOFError, OSError):
             # A worker died: replicas are unrecoverable for this run, so
             # finish with serial enumeration (identical results).

@@ -87,6 +87,13 @@ class ChaseResult:
     canonical selection order up to the winner: ``index``, ``selection``,
     ``status``, ``seconds`` and the ``worker`` that chased it."""
 
+    trace: Optional[Dict[str, object]] = None
+    """Flight-recorder payload (spans + metric snapshot) when the run
+    owned its recorder — i.e. tracing was enabled via ``config.trace``
+    and no external recorder was passed in.  Raced branches use this
+    field to ship their trace across the process boundary: the payload
+    is plain picklable data (see :meth:`repro.obs.FlightRecorder.to_payload`)."""
+
     @property
     def ok(self) -> bool:
         return self.status is ChaseStatus.SUCCESS

@@ -8,6 +8,8 @@ workflow over DSL scenario files::
     grom rewrite  scenario.grom      # print Σ_ST ∪ Σ_T
     grom chase    scenario.grom      # rewrite + chase + verify
     grom demo                        # run the paper's Section 2 example
+    grom batch    [corpus]           # a whole generated corpus, pooled
+    grom profile  trace.jsonl        # phase table from a --trace file
 
 Scenario files may embed an ``instance source { ... }`` section; the
 ``--csv DIR`` option loads the source instance from CSV files instead.
@@ -82,6 +84,11 @@ def build_argument_parser() -> argparse.ArgumentParser:
     chase_cmd.add_argument(
         "--show-target", action="store_true", help="print the produced instance"
     )
+    chase_cmd.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="record a flight-recorder trace (spans + metrics) of the "
+             "run as JSONL; render it with 'grom profile PATH'",
+    )
 
     subparsers.add_parser("demo", help="run the paper's running example")
 
@@ -145,6 +152,24 @@ def build_argument_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--no-verify", action="store_true", help="skip the soundness check"
     )
+    batch.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="trace every task with the flight recorder and write the "
+             "merged span/metric stream as JSONL; render it with "
+             "'grom profile PATH'",
+    )
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="render a flight-recorder trace as a self-time phase table",
+    )
+    profile.add_argument(
+        "trace", type=Path, help="JSONL trace written by --trace"
+    )
+    profile.add_argument(
+        "--top", type=int, default=20,
+        help="show at most this many phases (default 20)",
+    )
     return parser
 
 
@@ -198,20 +223,38 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace_file(path: Path, payload, meta: dict) -> None:
+    """Merge a flight-recorder payload and write it as a JSONL trace."""
+    from repro.obs.jsonl import write_trace
+    from repro.obs.recorder import FlightRecorder
+
+    recorder = FlightRecorder()
+    recorder.merge_payload(payload)
+    written = write_trace(path, recorder, meta=meta)
+    print(f"wrote {written} trace records to {path}")
+
+
 def _cmd_chase(args: argparse.Namespace) -> int:
+    import time
+
     from repro.chase.engine import ChaseConfig
+    from repro.obs.recorder import TraceConfig
 
     document = _load(args.scenario)
     source = _source_instance(document, args.csv)
+    trace_config = TraceConfig(enabled=True) if args.trace is not None else None
     config = (
         ChaseConfig(
             parallelism=args.parallelism,
             branch_parallelism=args.branch_parallelism,
+            trace=trace_config,
         )
         if args.parallelism != "serial"
         or args.branch_parallelism != "serial"
+        or trace_config is not None
         else None
     )
+    begin = time.perf_counter()
     outcome = run_scenario(
         document.scenario,
         source,
@@ -219,6 +262,17 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         config=config,
         max_scenarios=args.max_scenarios,
     )
+    wall = time.perf_counter() - begin
+    if args.trace is not None:
+        _write_trace_file(
+            args.trace,
+            outcome.trace,
+            {
+                "command": "chase",
+                "scenario": document.scenario.name,
+                "wall_seconds": round(wall, 6),
+            },
+        )
     print(f"rewriting: {outcome.rewrite!r}")
     print(f"chase:     {outcome.chase}")
     print(f"sharding:  {outcome.chase.sharding}")
@@ -289,12 +343,40 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         max_scenarios=args.max_scenarios,
         use_cache=not args.no_cache,
         cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+        trace=args.trace is not None,
     )
     report = run_batch(corpus, options)
 
     if args.results is not None:
         written = write_jsonl(report.records, args.results)
         print(f"wrote {written} task records to {args.results}")
+    if args.trace is not None:
+        from repro.obs.jsonl import write_trace
+        from repro.obs.recorder import FlightRecorder
+
+        merged = FlightRecorder()
+        for record in report.records:
+            # Pooled tasks ran concurrently in separate processes, so
+            # their spans must not share the coordinator's "main" label
+            # (that would double-count their self time against wall);
+            # serial tasks genuinely are the coordinator's own time.
+            merged.merge_payload(
+                record.trace,
+                worker=f"task-{record.index}" if report.mode == "pool" else None,
+            )
+        written = write_trace(
+            args.trace,
+            merged,
+            meta={
+                "command": "batch",
+                "corpus": report.corpus,
+                "mode": report.mode,
+                "jobs": report.jobs,
+                "tasks": len(report.records),
+                "wall_seconds": round(report.wall_seconds, 6),
+            },
+        )
+        print(f"wrote {written} trace records to {args.trace}")
     batch_summary_table(report).print()
     batch_family_table(report.records).print()
     batch_slowest_table(report.records).print()
@@ -308,6 +390,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
         return 1
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.jsonl import TraceFormatError, read_trace
+    from repro.obs.profile import profile_trace, render_profile
+
+    try:
+        trace = read_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    except TraceFormatError as exc:
+        print(f"error: {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    report = profile_trace(trace)
+    print(render_profile(report, trace, top=args.top))
     return 0
 
 
@@ -336,6 +435,7 @@ def main(argv: Optional[list] = None) -> int:
         "demo": _cmd_demo,
         "export-example": _cmd_export_example,
         "batch": _cmd_batch,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

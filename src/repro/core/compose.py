@@ -35,18 +35,25 @@ def materialize_source_views(
 
 
 def source_database(
-    scenario: MappingScenario, source_instance: Instance
+    scenario: MappingScenario, source_instance: Instance, recorder=None
 ) -> SemanticDatabase:
     """A live semantic database holding ``I_S ∪ Υ_S(I_S)``.
 
     Reusable and extendable: feed it more source facts and ``refresh()``
     to maintain the view extents semi-naively rather than rebuilding.
+    ``recorder`` attaches a flight recorder before the initial
+    materialization so its ``datalog.*`` metrics are captured too.
     """
-    return SemanticDatabase(scenario.source_views, base=source_instance)
+    database = SemanticDatabase(scenario.source_views)
+    if recorder is not None:
+        database.set_recorder(recorder)
+    database.add_facts(source_instance)
+    database.refresh()
+    return database
 
 
 def extend_source(
-    scenario: MappingScenario, source_instance: Instance
+    scenario: MappingScenario, source_instance: Instance, recorder=None
 ) -> Instance:
     """``I_S ∪ Υ_S(I_S)``: the instance mapping premises evaluate against.
 
@@ -55,4 +62,4 @@ def extend_source(
     is freshly built and exclusively the caller's; holders that want to
     keep extending it should use :func:`source_database` instead.
     """
-    return source_database(scenario, source_instance).instance
+    return source_database(scenario, source_instance, recorder).instance

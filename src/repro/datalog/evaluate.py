@@ -49,6 +49,7 @@ from repro.datalog.stratify import stratified_components
 from repro.errors import DatalogError
 from repro.logic.atoms import Atom
 from repro.logic.terms import Term, Variable
+from repro.obs.recorder import NULL_RECORDER
 from repro.relational.delta import DeltaPlans, GenerationWindow, PlanCache
 from repro.relational.instance import Instance
 from repro.relational.query import evaluate as evaluate_body
@@ -104,6 +105,7 @@ class SemanticDatabase:
         "_fresh",
         "_view_names",
         "_seeded",
+        "_recorder",
     )
 
     def __init__(
@@ -137,6 +139,7 @@ class SemanticDatabase:
         # reflected in the view extents.
         self._synced_generation = 0
         self._fresh = True
+        self._recorder = NULL_RECORDER
         if base is not None:
             self.add_facts(base)
             self.refresh()
@@ -162,13 +165,29 @@ class SemanticDatabase:
             self._plans[key] = plans
         return plans
 
+    def set_recorder(self, recorder) -> None:
+        """Attach a flight recorder for ``datalog.*`` metrics and
+        refresh spans (``None`` detaches)."""
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+
     def refresh(self) -> "SemanticDatabase":
         """Re-establish ``Υ(I)`` after insertions; no-op when synced."""
         working = self._working
         pending = working.facts_since(self._synced_generation)
         if not pending and not self._fresh:
             return self
-        initial = self._fresh
+        rec = self._recorder
+        with rec.span("datalog.refresh", pending=len(pending)):
+            before = len(working)
+            self._refresh_components(bool(self._fresh), pending)
+            if rec.enabled:
+                rec.count("datalog.refreshes")
+                rec.count("datalog.derived_facts", len(working) - before)
+        self._synced_generation = working.bump_generation()
+        return self
+
+    def _refresh_components(self, initial: bool, pending) -> None:
+        working = self._working
         self._fresh = False
         changed: Set[str] = {fact.relation for fact in pending}
         rebuilding = False
@@ -190,6 +209,7 @@ class SemanticDatabase:
                 # Rebuild it — and, since a rebuilt extent can shrink,
                 # every stratum above it — from scratch.
                 rebuilding = True
+                self._recorder.count("datalog.rebuilds")
                 for view in component:
                     for fact in list(working.facts(view)):
                         if fact not in self._seeded:
@@ -203,8 +223,6 @@ class SemanticDatabase:
                     changed.update(component)
             # else: nothing this component reads changed — its extents
             # are already at fixpoint, skip it entirely.
-        self._synced_generation = working.bump_generation()
-        return self
 
     def _evaluate_component(self, position: int, full: bool) -> None:
         """Run one component to fixpoint, semi-naively.
@@ -226,10 +244,14 @@ class SemanticDatabase:
                     working.add(_head_fact(rule, binding))
         else:
             window = GenerationWindow(working, since=self._synced_generation)
+        rec = self._recorder
         while True:
             delta = window.advance()
             if not delta:
                 return
+            if rec.enabled:
+                rec.count("datalog.passes")
+                rec.count("datalog.pass_facts", len(delta))
             delta_relations = {fact.relation for fact in delta}
             for offset, rule in enumerate(rules):
                 plans = self._rule_plans(rule, base_key + offset)

@@ -1,0 +1,61 @@
+"""Flight recorder: spans, metrics and phase profiling.
+
+The instrumentation layer behind ``--trace`` and ``grom profile``.
+Everything funnels through :class:`FlightRecorder` (span tracer +
+metrics registry); the disabled default is :data:`NULL_RECORDER`, whose
+operations are no-ops so untraced runs pay a single attribute check.
+"""
+
+from repro.obs.jsonl import (
+    TRACE_FORMAT_VERSION,
+    TraceFile,
+    TraceFormatError,
+    read_trace,
+    trace_records,
+    write_trace,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry, NullMetrics, percentile
+from repro.obs.profile import (
+    PhaseProfile,
+    ProfileReport,
+    phase_metrics,
+    profile_trace,
+    render_profile,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    FlightRecorder,
+    NullRecorder,
+    TraceConfig,
+    resolve_recorder,
+    span_records,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "TraceConfig",
+    "FlightRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "resolve_recorder",
+    "span_records",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "MetricsRegistry",
+    "NullMetrics",
+    "Histogram",
+    "percentile",
+    "TraceFile",
+    "TraceFormatError",
+    "TRACE_FORMAT_VERSION",
+    "trace_records",
+    "write_trace",
+    "read_trace",
+    "PhaseProfile",
+    "ProfileReport",
+    "profile_trace",
+    "render_profile",
+    "phase_metrics",
+]

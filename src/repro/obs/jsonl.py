@@ -1,0 +1,229 @@
+"""The on-disk trace format: one JSON record per line.
+
+A trace file is a stream of typed records:
+
+* ``{"type": "meta", "version": 1, ...}`` — exactly one, first line:
+  tool/command identity, corpus, wall-clock seconds, span counts.
+* ``{"type": "span", "id", "parent", "name", "start", "end",
+  "worker", "attrs"}`` — one per finished span.  ``start``/``end`` are
+  seconds **relative to the trace origin** (the earliest span start),
+  so readers never see raw monotonic-clock values.
+* ``{"type": "counter"|"gauge", "name", "value"}`` — final registry
+  values.
+* ``{"type": "histogram", "name", "count", "sum", "min", "max",
+  "p50", "p99", "sampled"}`` — histogram digests.
+
+The stream is append-friendly (a crashed run still leaves a parseable
+prefix) and standard-tooling-friendly (``jq``, pandas).  ``read_trace``
+validates every record against this schema and raises
+:class:`TraceFormatError` on violations — ``grom profile`` surfaces
+that as a clean error instead of a stack trace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TraceFormatError",
+    "TraceFile",
+    "trace_records",
+    "write_trace",
+    "read_trace",
+]
+
+TRACE_FORMAT_VERSION = 1
+
+_SPAN_REQUIRED = ("id", "name", "start", "end", "worker")
+_METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+class TraceFormatError(ValueError):
+    """A trace file violated the JSONL schema."""
+
+
+@dataclass
+class TraceFile:
+    """A parsed trace: meta header, spans, and final metric values."""
+
+    meta: Dict[str, object]
+    spans: List[dict] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def wall_seconds(self) -> float:
+        recorded = self.meta.get("wall_seconds")
+        if recorded is not None:
+            return float(recorded)
+        if not self.spans:
+            return 0.0
+        return max(s["end"] for s in self.spans) - min(
+            s["start"] for s in self.spans
+        )
+
+
+def trace_records(
+    recorder, meta: Optional[Dict[str, object]] = None
+) -> List[dict]:
+    """A recorder's state as the list of JSONL records of one trace.
+
+    Span times are rebased so the earliest span starts at 0.0.
+    """
+    payload = recorder.to_payload() or {}
+    spans = payload.get("spans", [])
+    origin = min((s["start"] for s in spans), default=0.0)
+    header: Dict[str, object] = {
+        "type": "meta",
+        "version": TRACE_FORMAT_VERSION,
+        "tool": "grom",
+        "spans": len(spans),
+        "dropped_spans": payload.get("dropped_spans", 0),
+    }
+    if meta:
+        header.update(meta)
+    out: List[dict] = [header]
+    for span in spans:
+        record = {
+            "type": "span",
+            "id": span["id"],
+            "parent": span.get("parent"),
+            "name": span["name"],
+            "start": round(span["start"] - origin, 9),
+            "end": round(span["end"] - origin, 9),
+            "worker": span.get("worker", "main"),
+        }
+        attrs = span.get("attrs")
+        if attrs:
+            record["attrs"] = attrs
+        out.append(record)
+    metrics = payload.get("metrics", {})
+    for name in sorted(metrics.get("counters", {})):
+        out.append(
+            {"type": "counter", "name": name, "value": metrics["counters"][name]}
+        )
+    for name in sorted(metrics.get("gauges", {})):
+        out.append(
+            {"type": "gauge", "name": name, "value": metrics["gauges"][name]}
+        )
+    histograms = metrics.get("histograms", {})
+    for name in sorted(histograms):
+        digest = histograms[name]
+        samples = digest.get("samples", [])
+        summary = {
+            "type": "histogram",
+            "name": name,
+            "count": digest.get("count", len(samples)),
+            "sum": digest.get("sum", 0.0),
+            "min": digest.get("min"),
+            "max": digest.get("max"),
+            "p50": _nearest_rank(samples, 50),
+            "p99": _nearest_rank(samples, 99),
+            "sampled": len(samples),
+        }
+        out.append(summary)
+    return out
+
+
+def _nearest_rank(samples, q: float) -> Optional[float]:
+    if not samples:
+        return None
+    from repro.obs.metrics import percentile
+
+    return percentile(list(samples), q)
+
+
+def write_trace(
+    path, recorder, meta: Optional[Dict[str, object]] = None
+) -> int:
+    """Serialize ``recorder`` to ``path``; returns the record count."""
+    records = trace_records(recorder, meta)
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as stream:
+        for record in records:
+            stream.write(json.dumps(record, sort_keys=True))
+            stream.write("\n")
+    return len(records)
+
+
+def _validate_span(record: dict, line_number: int) -> None:
+    for key in _SPAN_REQUIRED:
+        if key not in record:
+            raise TraceFormatError(
+                f"line {line_number}: span record missing {key!r}"
+            )
+    if not isinstance(record["name"], str):
+        raise TraceFormatError(f"line {line_number}: span name must be a string")
+    start, end = record["start"], record["end"]
+    if not isinstance(start, (int, float)) or not isinstance(end, (int, float)):
+        raise TraceFormatError(
+            f"line {line_number}: span start/end must be numbers"
+        )
+    if end < start:
+        raise TraceFormatError(
+            f"line {line_number}: span {record['name']!r} ends before it starts"
+        )
+
+
+def read_trace(path) -> TraceFile:
+    """Parse and validate a trace file written by :func:`write_trace`."""
+    meta: Optional[Dict[str, object]] = None
+    trace: Optional[TraceFile] = None
+    with Path(path).open() as stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise TraceFormatError(
+                    f"line {line_number}: not valid JSON ({exc})"
+                ) from None
+            if not isinstance(record, dict) or "type" not in record:
+                raise TraceFormatError(
+                    f"line {line_number}: expected an object with a 'type' key"
+                )
+            kind = record["type"]
+            if meta is None:
+                if kind != "meta":
+                    raise TraceFormatError(
+                        "first record must be the meta header"
+                    )
+                if record.get("version") != TRACE_FORMAT_VERSION:
+                    raise TraceFormatError(
+                        f"unsupported trace version {record.get('version')!r} "
+                        f"(expected {TRACE_FORMAT_VERSION})"
+                    )
+                meta = record
+                trace = TraceFile(meta=record)
+                continue
+            assert trace is not None
+            if kind == "meta":
+                raise TraceFormatError(
+                    f"line {line_number}: duplicate meta header"
+                )
+            if kind == "span":
+                _validate_span(record, line_number)
+                trace.spans.append(record)
+            elif kind == "counter":
+                trace.counters[str(record["name"])] = float(record["value"])
+            elif kind == "gauge":
+                trace.gauges[str(record["name"])] = float(record["value"])
+            elif kind == "histogram":
+                trace.histograms[str(record["name"])] = record
+            else:
+                raise TraceFormatError(
+                    f"line {line_number}: unknown record type {kind!r} "
+                    f"(expected span or one of {_METRIC_KINDS})"
+                )
+    if trace is None:
+        raise TraceFormatError(f"{path}: empty trace (no meta header)")
+    return trace

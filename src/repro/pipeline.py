@@ -19,6 +19,7 @@ from repro.core.compose import extend_source
 from repro.core.rewriter import AUX_PREFIX, RewriteResult, rewrite
 from repro.core.scenario import MappingScenario
 from repro.core.verify import VerificationReport, verify_solution
+from repro.obs.recorder import resolve_recorder
 from repro.relational.instance import Instance
 from repro.relational.schema import Schema
 
@@ -35,6 +36,11 @@ class PipelineResult:
     """Physical target instance (auxiliary requirement relations stripped)."""
 
     verification: Optional[VerificationReport] = None
+
+    trace: Optional[dict] = None
+    """Flight-recorder payload covering the whole pipeline run, present
+    when tracing was enabled via ``config.trace`` and no external
+    recorder was passed in."""
 
     @property
     def ok(self) -> bool:
@@ -66,6 +72,7 @@ def run_scenario(
     config: Optional[ChaseConfig] = None,
     max_scenarios: int = 256,
     unfold_source_premises: bool = False,
+    recorder=None,
 ) -> PipelineResult:
     """Run the full GROM pipeline on a scenario and a source instance.
 
@@ -77,9 +84,20 @@ def run_scenario(
        greedy ded engine otherwise;
     4. verify the produced target against the *original* semantic
        scenario (the paper's soundness contract).
+
+    ``recorder`` follows the engine convention: pass a flight recorder
+    to keep the trace, or set ``config.trace`` to have the pipeline own
+    one and attach its payload to ``PipelineResult.trace``.  Either way
+    the phases show up as ``rewrite`` / ``compose`` / ``chase`` /
+    ``verify`` spans.
     """
-    rewritten = rewrite(scenario, unfold_source_premises=unfold_source_premises)
-    return run_rewritten(
+    rec = resolve_recorder(recorder, config.trace if config else None)
+    owned = recorder is None and rec.enabled
+    with rec.span("rewrite"):
+        rewritten = rewrite(
+            scenario, unfold_source_premises=unfold_source_premises
+        )
+    result = run_rewritten(
         scenario,
         rewritten,
         source_instance,
@@ -87,7 +105,11 @@ def run_scenario(
         config=config,
         max_scenarios=max_scenarios,
         unfold_source_premises=unfold_source_premises,
+        recorder=rec if rec.enabled else None,
     )
+    if owned:
+        result.trace = rec.to_payload()
+    return result
 
 
 def run_rewritten(
@@ -98,6 +120,7 @@ def run_rewritten(
     config: Optional[ChaseConfig] = None,
     max_scenarios: int = 256,
     unfold_source_premises: bool = False,
+    recorder=None,
 ) -> PipelineResult:
     """Chase + verify with an already-computed rewriting.
 
@@ -107,24 +130,30 @@ def run_rewritten(
     soundness verification identical.  ``unfold_source_premises`` must
     match the flag the rewriting was produced with.
     """
+    rec = resolve_recorder(recorder, config.trace if config else None)
+    owned = recorder is None and rec.enabled
     if unfold_source_premises:
         chase_input = source_instance
     else:
-        chase_input = extend_source(scenario, source_instance)
+        with rec.span("compose"):
+            chase_input = extend_source(
+                scenario, source_instance, recorder=rec if rec.enabled else None
+            )
 
-    if rewritten.has_deds:
-        engine = GreedyDedChase(
-            rewritten.dependencies,
-            rewritten.source_relations(),
-            config,
-            max_scenarios=max_scenarios,
-        )
-        chase_result = engine.run(chase_input)
-    else:
-        standard = StandardChase(
-            rewritten.dependencies, rewritten.source_relations(), config
-        )
-        chase_result = standard.run(chase_input)
+    with rec.span("chase", deds=rewritten.has_deds):
+        if rewritten.has_deds:
+            engine = GreedyDedChase(
+                rewritten.dependencies,
+                rewritten.source_relations(),
+                config,
+                max_scenarios=max_scenarios,
+            )
+            chase_result = engine.run(chase_input, recorder=rec)
+        else:
+            standard = StandardChase(
+                rewritten.dependencies, rewritten.source_relations(), config
+            )
+            chase_result = standard.run(chase_input, recorder=rec)
 
     target = strip_auxiliary(chase_result.target, scenario.target_schema)
     verification = None
@@ -133,16 +162,20 @@ def run_rewritten(
         # unless premises were unfolded — then the views were never
         # materialized and the verifier builds them itself.  The verifier
         # inherits the chase's parallelism spec (one worker budget).
-        verification = verify_solution(
-            scenario,
-            source_instance,
-            target,
-            source_side=None if unfold_source_premises else chase_input,
-            parallelism=config.parallelism if config is not None else None,
-        )
+        with rec.span("verify"):
+            verification = verify_solution(
+                scenario,
+                source_instance,
+                target,
+                source_side=None if unfold_source_premises else chase_input,
+                parallelism=config.parallelism if config is not None else None,
+            )
+        rec.count("verify.checked", 1)
+        rec.count("verify.ok", 1 if verification.ok else 0)
     return PipelineResult(
         rewrite=rewritten,
         chase=chase_result,
         target=target,
         verification=verification,
+        trace=rec.to_payload() if owned else None,
     )

@@ -85,7 +85,7 @@ class PlanCache:
       which pure size tracking cannot (ROADMAP "Plan statistics").
     """
 
-    __slots__ = ("_plans",)
+    __slots__ = ("_plans", "compiles", "recompiles", "served")
 
     #: Below this many facts any plan is fine; avoids churn on tiny data.
     RECOMPILE_FLOOR = 8
@@ -99,6 +99,13 @@ class PlanCache:
             object,
             Tuple[CompiledQuery, int, Dict[Tuple[str, Tuple[int, ...]], float]],
         ] = {}
+        #: Plans built from scratch / rebuilt under the recompile policy /
+        #: served from cache — the ``plan.*`` metrics the flight recorder
+        #: harvests (a recompile counts in both ``compiles`` and
+        #: ``recompiles``).
+        self.compiles = 0
+        self.recompiles = 0
+        self.served = 0
 
     def plan(
         self,
@@ -116,7 +123,10 @@ class PlanCache:
             if current < 2 * max(compiled_at, self.RECOMPILE_FLOOR) and not (
                 self._drifted(estimates, instance)
             ):
+                self.served += 1
                 return plan
+            self.recompiles += 1
+        self.compiles += 1
         plan = CompiledQuery(body, bound, instance, first_atom)
         self._plans[key] = (plan, current, self._snapshot(plan, instance))
         return plan

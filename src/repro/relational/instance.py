@@ -77,6 +77,10 @@ class Instance:
         # must not both register it as live (add() would then append new
         # facts to it twice).
         self._index_lock = threading.Lock()
+        #: Lazy index constructions performed by this instance — the
+        #: ``instance.index_builds`` metric (rebuild churn is one of the
+        #: costs the columnar-kernel work needs visibility into).
+        self.index_builds = 0
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -257,6 +261,7 @@ class Instance:
             built: Dict[Tuple[Term, ...], List[Atom]] = defaultdict(list)
             for fact in self._facts.get(relation, ()):
                 built[tuple(fact.terms[i] for i in key[1])].append(fact)
+            self.index_builds += 1
             self._indexes[key] = built
             self._index_versions[key] = self._relation_versions[relation]
             live = self._live_index_keys.setdefault(relation, [])

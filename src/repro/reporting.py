@@ -114,6 +114,11 @@ def batch_summary_table(report: "BatchReport") -> Table:
     table.add("cache hit rate", summary.cache_hit_rate)
     table.add("rewrite seconds", summary.rewrite_seconds)
     table.add("chase seconds", summary.chase_seconds)
+    for phase, digest in summary.phase_latencies.items():
+        table.add(
+            f"{phase} p50/p99 s",
+            f"{digest['p50']:.4f}/{digest['p99']:.4f}",
+        )
     table.add("wall seconds", summary.wall_seconds)
     table.add("scenarios/sec", summary.scenarios_per_second)
     if report.note:

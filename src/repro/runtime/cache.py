@@ -152,6 +152,10 @@ class RewriteCache:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        # Whether the most recent get() was served by the disk tier —
+        # _miss() needs it to roll back the right counters when the
+        # payload turns out to be unusable.
+        self._last_get_from_disk = False
 
     # -- raw payload access -------------------------------------------------
 
@@ -171,6 +175,7 @@ class RewriteCache:
 
     def get(self, fingerprint: str) -> Optional[dict]:
         """The cached payload, or ``None`` (counts a hit or a miss)."""
+        self._last_get_from_disk = False
         entry = self._entries.get(fingerprint)
         if entry is not None:
             self._entries.move_to_end(fingerprint)
@@ -185,6 +190,7 @@ class RewriteCache:
         if entry is not None:
             self.stats.hits += 1
             self.stats.disk_hits += 1
+            self._last_get_from_disk = True
             self._store_memory(fingerprint, entry)
             return entry
         self.stats.misses += 1
@@ -257,9 +263,17 @@ class RewriteCache:
         return self._miss(fingerprint)
 
     def _miss(self, fingerprint: str) -> Tuple[None, str]:
-        """Reclassify an unusable lookup (already counted a hit)."""
+        """Reclassify an unusable lookup (already counted a hit).
+
+        When the unusable payload came from the disk tier, the disk-hit
+        count is rolled back too — otherwise ``disk_hits`` could exceed
+        ``hits`` and corrupt derived hit-rate metrics.
+        """
         self.stats.hits -= 1
         self.stats.misses += 1
+        if self._last_get_from_disk:
+            self.stats.disk_hits -= 1
+            self._last_get_from_disk = False
         return None, fingerprint
 
     def store(

@@ -32,6 +32,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from repro.chase.engine import ChaseConfig
 from repro.chase.parallel import compose_parallelism
 from repro.core.rewriter import rewrite
+from repro.obs.recorder import NULL_RECORDER, FlightRecorder
 from repro.pipeline import run_rewritten
 from repro.runtime.cache import CacheStats, RewriteCache
 from repro.runtime.corpus import Corpus, ScenarioSpec
@@ -74,6 +75,12 @@ class BatchOptions:
     """Disk tier for the rewrite cache; required for cross-process sharing
     and for warm-cache behaviour across runs."""
     cache_capacity: int = 512
+    trace: bool = False
+    """Run every task under a flight recorder: each
+    :class:`~repro.runtime.results.TaskRecord` then carries the full
+    span/metric payload (``record.trace``) and its counter snapshot
+    (``record.metrics``).  Payloads travel back from pool workers with
+    the records, so ``grom batch --trace`` merges them into one file."""
 
 
 @dataclass
@@ -174,10 +181,14 @@ def _execute(
         or options.branch_parallelism != "serial"
         else None
     )
+    recorder = FlightRecorder() if options.trace else NULL_RECORDER
     start = time.perf_counter()
     try:
-        with _alarm(options.timeout):
-            built = spec.build()
+        with _alarm(options.timeout), recorder.span(
+            "task", label=spec.label, family=spec.family, index=index
+        ):
+            with recorder.span("build"):
+                built = spec.build()
             scenario, instance = built.scenario, built.instance
             record.build_seconds = time.perf_counter() - start
             record.source_facts = len(instance)
@@ -192,14 +203,20 @@ def _execute(
             )
 
             step = time.perf_counter()
-            rewritten = None
-            if cache is not None:
-                rewritten, _ = cache.fetch(scenario, fingerprint)
-                record.cache_hit = rewritten is not None
-            if rewritten is None:
-                rewritten = rewrite(scenario)
+            with recorder.span("rewrite") as rewrite_span:
+                rewritten = None
                 if cache is not None:
-                    cache.store(fingerprint, rewritten)
+                    rewritten, _ = cache.fetch(scenario, fingerprint)
+                    record.cache_hit = rewritten is not None
+                if rewritten is None:
+                    rewritten = rewrite(scenario)
+                    if cache is not None:
+                        cache.store(fingerprint, rewritten)
+                if recorder.enabled:
+                    rewrite_span.annotate(cached=record.cache_hit)
+                    recorder.count("cache.lookups")
+                    if record.cache_hit:
+                        recorder.count("cache.hits")
             record.rewrite_seconds = time.perf_counter() - step
             record.dependencies = len(rewritten.dependencies)
             record.deds = sum(1 for d in rewritten.dependencies if d.is_ded())
@@ -217,6 +234,7 @@ def _execute(
                 verify=options.verify,
                 config=chase_config,
                 max_scenarios=options.max_scenarios,
+                recorder=recorder if recorder.enabled else None,
             )
             record.chase_seconds = time.perf_counter() - step
             record.status = str(outcome.chase.status)
@@ -236,6 +254,10 @@ def _execute(
         record.status = STATUS_ERROR
         record.error = f"{type(exc).__name__}: {exc}"
     record.total_seconds = time.perf_counter() - start
+    if recorder.enabled:
+        payload = recorder.to_payload()
+        record.trace = payload
+        record.metrics = dict(payload["metrics"].get("counters", {}))
     return record
 
 

@@ -17,6 +17,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
+from repro.obs.metrics import percentile
+
 __all__ = [
     "TaskRecord",
     "BatchSummary",
@@ -74,6 +76,15 @@ class TaskRecord:
     scenarios_tried: int = 0
     nulls_created: int = 0
 
+    trace: Optional[Dict[str, object]] = None
+    """Flight-recorder payload (spans + metrics snapshot) when the batch
+    ran with tracing enabled; ``None`` otherwise.  Serializes into the
+    JSONL record so a traced batch is fully replayable offline."""
+    metrics: Optional[Dict[str, float]] = None
+    """Final counter values from the task's flight recorder — the
+    ``trace`` payload's counters lifted out for convenient ``jq``/trend
+    consumption."""
+
     def to_json(self) -> str:
         return json.dumps(asdict(self), sort_keys=True)
 
@@ -128,6 +139,9 @@ class BatchSummary:
     branch_parallelism: str = "serial"
     """Branch-race fan-out the run's disjunctive searches used."""
     by_family: Dict[str, int] = field(default_factory=dict)
+    phase_latencies: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    """Per-phase (build/rewrite/chase/total) latency digests over the
+    run's task records: ``{"p50": ..., "p99": ..., "sum": ...}``."""
 
     @property
     def cache_hit_rate(self) -> float:
@@ -161,6 +175,12 @@ def summarize(
         parallelism=parallelism,
         branch_parallelism=branch_parallelism,
     )
+    phase_samples: Dict[str, List[float]] = {
+        "build": [],
+        "rewrite": [],
+        "chase": [],
+        "total": [],
+    }
     for record in records:
         summary.total += 1
         summary.by_family[record.family] = (
@@ -184,4 +204,15 @@ def summarize(
         summary.rewrite_seconds += record.rewrite_seconds
         summary.chase_seconds += record.chase_seconds
         summary.task_seconds += record.total_seconds
+        phase_samples["build"].append(record.build_seconds)
+        phase_samples["rewrite"].append(record.rewrite_seconds)
+        phase_samples["chase"].append(record.chase_seconds)
+        phase_samples["total"].append(record.total_seconds)
+    for phase, samples in phase_samples.items():
+        if samples:
+            summary.phase_latencies[phase] = {
+                "p50": percentile(samples, 50),
+                "p99": percentile(samples, 99),
+                "sum": sum(samples),
+            }
     return summary

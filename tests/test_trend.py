@@ -41,6 +41,11 @@ class TestDirection:
             ("by_size.2000.speedup", 1),
             ("tasks_per_second", 1),
             ("facts", 0),
+            # Flight-recorder phase digests (BENCH_trace_phases.json).
+            ("phases.chase.enumerate.p50_seconds", -1),
+            ("phases.verify.p99_seconds", -1),
+            ("phases.task.self_seconds", -1),
+            ("coverage", 1),
         ],
     )
     def test_polarity(self, path, expected):
@@ -78,6 +83,28 @@ class TestCompare:
         regressions, movements = trend.compare({"e10": {"v": 1.0}}, {}, 0.2)
         assert regressions == []
         assert "new benchmark" in movements[0]
+
+    def test_phase_latency_regression_is_flagged(self):
+        previous = {"trace_phases": {"phases.chase.p99_seconds": 0.10}}
+        current = {"trace_phases": {"phases.chase.p99_seconds": 0.15}}
+        regressions, _ = trend.compare(current, previous, 0.2)
+        assert len(regressions) == 1
+
+
+class TestStepSummary:
+    def test_regressions_appended_to_summary_file(self, tmp_path, monkeypatch):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        trend.write_step_summary(
+            ["REGRESSION e9.per_probe_seconds.1000: 1 -> 1.5 (+50.0%)"], 0.2
+        )
+        text = summary.read_text()
+        assert "20%" in text
+        assert "per_probe_seconds" in text
+
+    def test_no_op_outside_actions(self, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        trend.write_step_summary(["REGRESSION x: 1 -> 2 (+100.0%)"], 0.2)
 
 
 class TestRollingWindow:
