@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test ci-test bench fuzz example batch help
+.PHONY: test ci-test bench fuzz example batch lint scenario-lint help
 
 help:
 	@echo "make test      - full suite (tier-1: tests + benchmarks)"
@@ -10,6 +10,8 @@ help:
 	@echo "make fuzz      - deep hypothesis profile over the property suites"
 	@echo "make example   - regenerate examples/running_example.grom"
 	@echo "make batch     - run the default batch corpus end to end"
+	@echo "make lint      - determinism AST lint + ruff (when installed)"
+	@echo "make scenario-lint - grom lint over examples/ and the default corpus"
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,3 +38,20 @@ example:
 
 batch:
 	$(PYTHON) -m repro.cli batch mixed --cache-dir .grom-cache --results batch-results.jsonl
+
+# The merge paths of the parallel chase, the branch racer and the
+# flight recorder promise bit-identical output; the AST lint rejects
+# raw set iteration there.  ruff runs too when present (CI always has
+# it; the dev container may not).
+lint:
+	$(PYTHON) tools/lint_determinism.py
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/ tests/ benchmarks/; \
+	else \
+		echo "ruff not installed; skipping (the CI lint job runs it)"; \
+	fi
+
+# Static mapping analysis over everything we ship: error-severity
+# diagnostics fail the build.
+scenario-lint:
+	$(PYTHON) -m repro.cli lint examples/*.grom --corpus mixed

@@ -1,0 +1,81 @@
+"""Static mapping analysis: termination, firing graphs, diagnostics.
+
+The analyzer decides, before any chase step runs, (1) whether the chase
+provably terminates (and under which policy the proof applies), (2)
+which dependencies can never fire and in what stratified order the live
+ones feed each other, and (3) what a human or CI should be told about
+the scenario — as stable-coded diagnostics behind ``grom lint``.
+"""
+
+from repro.analysis.analyzer import MappingAnalysis, analyze_dependencies
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    SourceSpan,
+    has_errors,
+    render_diagnostic,
+    severity_of,
+    sort_diagnostics,
+)
+from repro.analysis.firing import (
+    FiringReport,
+    analyze_firing,
+    dead_dependency_indices,
+    fire_schedule,
+    firing_edges,
+    populatable_relations,
+)
+from repro.analysis.lint import (
+    LintReport,
+    lint_file,
+    lint_scenario,
+    lint_text,
+    render_report,
+    reports_payload,
+)
+from repro.analysis.satisfiability import contradiction_reason
+from repro.analysis.termination import (
+    Position,
+    PositionGraph,
+    TerminationClass,
+    TerminationReport,
+    classify_termination,
+    is_weakly_acyclic,
+    position_graph,
+    weak_acyclicity_report,
+)
+
+__all__ = [
+    "MappingAnalysis",
+    "analyze_dependencies",
+    "CODES",
+    "Diagnostic",
+    "Severity",
+    "SourceSpan",
+    "has_errors",
+    "render_diagnostic",
+    "severity_of",
+    "sort_diagnostics",
+    "FiringReport",
+    "analyze_firing",
+    "dead_dependency_indices",
+    "fire_schedule",
+    "firing_edges",
+    "populatable_relations",
+    "LintReport",
+    "lint_file",
+    "lint_scenario",
+    "lint_text",
+    "render_report",
+    "reports_payload",
+    "contradiction_reason",
+    "Position",
+    "PositionGraph",
+    "TerminationClass",
+    "TerminationReport",
+    "classify_termination",
+    "is_weakly_acyclic",
+    "position_graph",
+    "weak_acyclicity_report",
+]

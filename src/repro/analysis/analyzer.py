@@ -1,0 +1,268 @@
+"""The mapping analyzer: one pass, every verdict.
+
+:func:`analyze_dependencies` runs the termination ladder and the firing
+analysis over a rewritten dependency set and folds the results into a
+:class:`MappingAnalysis` — the single object the pipeline attaches to
+results, the engine consults for guard dropping and dead-dependency
+pruning, and ``grom lint`` renders for humans and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, has_errors, sort_diagnostics
+from repro.analysis.firing import FiringReport, analyze_firing
+from repro.analysis.satisfiability import contradiction_reason
+from repro.analysis.termination import (
+    TerminationClass,
+    TerminationReport,
+    classify_termination,
+)
+from repro.errors import UnsafeDependencyError
+from repro.logic.dependencies import Dependency
+
+__all__ = ["MappingAnalysis", "analyze_dependencies"]
+
+_AUX_PREFIX = "_grom_req_"
+"""Mirror of ``repro.core.rewriter.AUX_PREFIX``.
+
+Kept literal so the analysis layer depends only on ``repro.logic``;
+``tests/test_analysis.py`` asserts the two constants agree.
+"""
+
+
+@dataclass(frozen=True)
+class MappingAnalysis:
+    """Everything the static analyzer knows about one scenario."""
+
+    termination: TerminationReport
+    firing: FiringReport
+    diagnostics: Tuple[Diagnostic, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not has_errors(self.diagnostics)
+
+    def counters(self) -> Dict[str, int]:
+        """``analysis.*`` counters for the flight recorder."""
+        severities = {"error": 0, "warning": 0, "info": 0}
+        for diagnostic in self.diagnostics:
+            severities[diagnostic.severity.value] += 1
+        return {
+            "analysis.proven_terminating": int(self.termination.proven),
+            "analysis.dead_dependencies": len(self.firing.dead_dependencies),
+            "analysis.strata": len(self.firing.strata),
+            "analysis.diagnostics.error": severities["error"],
+            "analysis.diagnostics.warning": severities["warning"],
+            "analysis.diagnostics.info": severities["info"],
+        }
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "termination": self.termination.to_payload(),
+            "firing": self.firing.to_payload(),
+            "diagnostics": [d.to_payload() for d in self.diagnostics],
+            "ok": self.ok,
+        }
+
+
+def _schedule_text(firing: FiringReport) -> str:
+    rendered = [
+        "{" + ", ".join(str(index) for index in stratum) + "}"
+        for stratum in firing.strata
+    ]
+    return " → ".join(rendered) if rendered else "∅"
+
+
+def _name_of(dependency: Dependency, index: int) -> str:
+    return dependency.name or f"dependency[{index}]"
+
+
+def _origin_of(dependency: Dependency, index: int) -> str:
+    """User-level mapping/constraint a rewritten dependency came from.
+
+    The rewriter encodes provenance in names: ``m0`` unfolds to
+    ``m0.g1``, ded branches to ``m0.b2`` / ``m0.b2.g0`` and split egds
+    to ``k0#p1``.  Anonymous dependencies are their own origin.
+    """
+    name = dependency.name
+    if not name:
+        return f"dependency[{index}]"
+    return name.split(".", 1)[0].split("#", 1)[0]
+
+
+def _produces_facts(dependency: Dependency) -> bool:
+    return any(disjunct.atoms for disjunct in dependency.disjuncts)
+
+
+def analyze_dependencies(
+    dependencies: Iterable[Dependency],
+    source_relations: Iterable[str],
+    target_relations: Optional[Iterable[str]] = None,
+) -> MappingAnalysis:
+    """Analyze a rewritten dependency set against its source schema.
+
+    ``source_relations`` are assumed populated (the static base of the
+    firing fixpoint); ``target_relations``, when given, suppress the
+    never-consumed warning for relations the scenario is *supposed* to
+    materialize.
+    """
+    dependencies = list(dependencies)
+    base = sorted(set(source_relations))
+    targets = None if target_relations is None else set(target_relations)
+
+    diagnostics: List[Diagnostic] = []
+    for index, dependency in enumerate(dependencies):
+        try:
+            dependency.check_safety()
+        except UnsafeDependencyError as error:
+            diagnostics.append(
+                Diagnostic(
+                    code="GROM103",
+                    message=str(error),
+                    subject=_name_of(dependency, index),
+                )
+            )
+
+    termination = classify_termination(dependencies)
+    firing = analyze_firing(dependencies, base)
+
+    diagnostics.append(
+        Diagnostic(
+            code="GROM001",
+            message=(
+                f"termination: {termination.classification} "
+                f"({termination.detail})"
+            ),
+            subject=str(termination.classification),
+        )
+    )
+    diagnostics.append(
+        Diagnostic(
+            code="GROM002",
+            message=(
+                f"fire schedule: {len(firing.strata)} strata "
+                f"{_schedule_text(firing)}"
+            ),
+            subject="schedule",
+        )
+    )
+
+    # Triage dead dependencies by user-level origin.  A dead *branch*
+    # of an otherwise-live mapping is expected rewriter output (the
+    # engine prunes it); a mapping whose every rewritten form is dead
+    # can never move data; a constraint that can never fire is merely
+    # vacuous.
+    origin_members: Dict[str, List[int]] = {}
+    for index, dependency in enumerate(dependencies):
+        origin_members.setdefault(_origin_of(dependency, index), []).append(index)
+    dead = set(firing.dead_dependencies)
+    for index in firing.dead_dependencies:
+        dependency = dependencies[index]
+        missing = sorted(
+            relation
+            for relation in {a.relation for a in dependency.premise.atoms}
+            if relation not in firing.populatable
+        )
+        if missing:
+            reason = (
+                f"relation(s) {', '.join(missing)} can never be populated"
+            )
+        else:
+            reason = (
+                contradiction_reason(dependency.premise)
+                or "premise can never match"
+            )
+        siblings = origin_members[_origin_of(dependency, index)]
+        if any(sibling not in dead for sibling in siblings):
+            code = "GROM003"
+            message = f"dead rewritten branch, pruned: {reason}"
+        elif any(_produces_facts(dependencies[s]) for s in siblings):
+            code = "GROM101"
+            message = f"premise can never match: {reason}"
+        else:
+            code = "GROM204"
+            message = f"constraint can never fire: {reason}"
+        diagnostics.append(
+            Diagnostic(
+                code=code,
+                message=message,
+                subject=_name_of(dependency, index),
+            )
+        )
+
+    for index, dependency in enumerate(dependencies):
+        for negation in dependency.premise.negations:
+            vacuous = sorted(
+                relation
+                for relation in {a.relation for a in negation.inner.atoms}
+                if relation not in firing.populatable
+            )
+            if vacuous:
+                diagnostics.append(
+                    Diagnostic(
+                        code="GROM102",
+                        message=(
+                            f"negated relation(s) {', '.join(vacuous)} can "
+                            f"never be populated; the negation is vacuously "
+                            f"true"
+                        ),
+                        subject=_name_of(dependency, index),
+                    )
+                )
+
+    if not termination.proven:
+        diagnostics.append(
+            Diagnostic(
+                code="GROM201",
+                message=(
+                    "termination unproven; the chase runs under a step "
+                    "budget" + (f" ({termination.detail})" if termination.detail else "")
+                ),
+                subject=str(TerminationClass.UNPROVEN),
+            )
+        )
+
+    ded_count = sum(1 for d in dependencies if d.is_ded())
+    if ded_count:
+        diagnostics.append(
+            Diagnostic(
+                code="GROM202",
+                message=(
+                    f"{ded_count} disjunctive dependencies: the greedy ded "
+                    f"search sweeps branch selections"
+                ),
+                subject="deds",
+            )
+        )
+
+    if targets is not None:
+        consumed = {
+            atom.relation
+            for dependency in dependencies
+            for atom in dependency.premise.atoms
+        }
+        for relation in sorted(firing.populatable - set(base)):
+            if (
+                relation not in consumed
+                and relation not in targets
+                and not relation.startswith(_AUX_PREFIX)
+            ):
+                diagnostics.append(
+                    Diagnostic(
+                        code="GROM203",
+                        message=(
+                            f"relation {relation} is populated but never "
+                            f"consumed and is not in the target schema"
+                        ),
+                        subject=relation,
+                    )
+                )
+
+    return MappingAnalysis(
+        termination=termination,
+        firing=firing,
+        diagnostics=sort_diagnostics(diagnostics),
+    )

@@ -1,0 +1,163 @@
+"""Diagnostics: stable codes, severities, and source spans.
+
+Every verdict the analyzer produces is surfaced as a
+:class:`Diagnostic` with a *stable* code — scripts and CI match on the
+code, never on message text.  The registry:
+
+======== ======== ======================================================
+code     severity meaning
+======== ======== ======================================================
+GROM001  info     termination verdict for the scenario
+GROM002  info     stratified fire schedule
+GROM003  info     dead rewritten branch: one of a mapping's rewritten
+                  dependencies can never fire (the engine prunes it),
+                  but sibling branches keep the mapping alive
+GROM101  error    unsatisfiable premise: every rewritten dependency of a
+                  fact-producing mapping is dead — the mapping can never
+                  move any data
+GROM102  error    premise negation over a relation that can never hold a
+                  fact — the negation is vacuously true
+GROM103  error    unsafe dependency (unbound comparison/equality/negation
+                  variable)
+GROM104  error    scenario failed to parse
+GROM105  error    scenario failed to rewrite
+GROM201  warning  termination unproven: the chase runs under a step
+                  budget
+GROM202  info     disjunctive dependencies present: the greedy ded
+                  search will sweep branch selections
+GROM203  warning  relation is populated but never consumed and is not
+                  part of the target schema
+GROM204  warning  vacuous constraint: an egd or denial whose premise can
+                  never match is trivially satisfied
+======== ======== ======================================================
+
+Codes are append-only: a released code never changes meaning, and a
+retired code is never reused.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "Severity",
+    "SourceSpan",
+    "Diagnostic",
+    "CODES",
+    "severity_of",
+    "sort_diagnostics",
+    "has_errors",
+    "render_diagnostic",
+]
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity; ``rank`` orders error < warning < info."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+CODES: Dict[str, Tuple[Severity, str]] = {
+    "GROM001": (Severity.INFO, "termination verdict"),
+    "GROM002": (Severity.INFO, "fire schedule"),
+    "GROM003": (Severity.INFO, "dead rewritten branch"),
+    "GROM101": (Severity.ERROR, "unsatisfiable premise"),
+    "GROM102": (Severity.ERROR, "vacuous premise negation"),
+    "GROM103": (Severity.ERROR, "unsafe dependency"),
+    "GROM104": (Severity.ERROR, "parse failure"),
+    "GROM105": (Severity.ERROR, "rewrite failure"),
+    "GROM201": (Severity.WARNING, "termination unproven"),
+    "GROM202": (Severity.INFO, "disjunctive dependencies present"),
+    "GROM203": (Severity.WARNING, "relation never consumed"),
+    "GROM204": (Severity.WARNING, "vacuous constraint"),
+}
+
+
+def severity_of(code: str) -> Severity:
+    return CODES[code][0]
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A 1-based location in the scenario source text."""
+
+    line: int
+    column: int
+    end_column: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_column": self.end_column,
+        }
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, addressable by its stable code."""
+
+    code: str
+    message: str
+    subject: str = ""
+    span: Optional[SourceSpan] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def severity(self) -> Severity:
+        return severity_of(self.code)
+
+    def with_span(self, span: Optional[SourceSpan]) -> "Diagnostic":
+        return Diagnostic(self.code, self.message, self.subject, span)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "subject": self.subject,
+            "span": self.span.to_payload() if self.span else None,
+        }
+
+
+def sort_diagnostics(diagnostics: Sequence[Diagnostic]) -> Tuple[Diagnostic, ...]:
+    """Canonical order: severity, then code, then subject, then message."""
+    return tuple(
+        sorted(
+            diagnostics,
+            key=lambda d: (d.severity.rank, d.code, d.subject, d.message),
+        )
+    )
+
+
+def has_errors(diagnostics: Sequence[Diagnostic]) -> bool:
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def render_diagnostic(diagnostic: Diagnostic, source: str = "") -> str:
+    """One pretty line: ``source:line:col: severity GROMnnn: message``."""
+    location = source or "<scenario>"
+    if diagnostic.span is not None:
+        location = f"{location}:{diagnostic.span}"
+    subject = f" [{diagnostic.subject}]" if diagnostic.subject else ""
+    return (
+        f"{location}: {diagnostic.severity.value} {diagnostic.code}: "
+        f"{diagnostic.message}{subject}"
+    )

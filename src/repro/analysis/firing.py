@@ -1,0 +1,178 @@
+"""The firing graph: who can populate whom, and in what order.
+
+Termination (``analysis/termination.py``) asks *whether* the chase
+stops; this module asks *which work is worth doing*.  Three artifacts
+come out of the predicate-level firing graph of a dependency set:
+
+* the **populatable** fixpoint — relations that can ever hold a fact,
+  starting from the non-empty base relations and closing under "if all
+  positive premise relations of a dependency are populatable, every
+  conclusion relation is too" (deds union their branches: a relation is
+  populatable if *some* branch choice can reach it);
+* **dead dependencies** — dependencies with a positive premise atom
+  over a relation that is not populatable, or whose premise comparisons
+  are contradictory (``analysis/satisfiability.py``).  Their premise
+  can never match under any branch selection, so the engine skips their
+  enumeration entirely;
+* the **fire schedule** — the SCC condensation of the dependency-level
+  firing graph in deterministic topological order.  A dependency in a
+  later stratum can never feed one in an earlier stratum, which is why
+  the engine's delta-anchored enumeration retires strata monotonically.
+
+Premise negation restricts matches and never populates anything, so it
+is invisible here; only positive premise atoms gate deadness (a
+negation over an empty relation is simply satisfied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.graphs import condensation_order
+from repro.analysis.satisfiability import contradiction_reason
+from repro.logic.dependencies import Dependency
+
+__all__ = [
+    "FiringReport",
+    "firing_edges",
+    "populatable_relations",
+    "dead_dependency_indices",
+    "fire_schedule",
+    "analyze_firing",
+]
+
+
+def _positive_premise_relations(dependency: Dependency) -> FrozenSet[str]:
+    return frozenset(atom.relation for atom in dependency.premise.atoms)
+
+
+def _conclusion_relations(dependency: Dependency) -> FrozenSet[str]:
+    out: Set[str] = set()
+    for disjunct in dependency.disjuncts:
+        out.update(disjunct.relations())
+    return frozenset(out)
+
+
+def firing_edges(dependencies: Sequence[Dependency]) -> List[Tuple[str, str]]:
+    """Predicate-level edges: premise relation → conclusion relation."""
+    edges: Set[Tuple[str, str]] = set()
+    for dependency in dependencies:
+        for source in _positive_premise_relations(dependency):
+            for target in _conclusion_relations(dependency):
+                edges.add((source, target))
+    return sorted(edges)
+
+
+def populatable_relations(
+    dependencies: Sequence[Dependency], base: Iterable[str]
+) -> FrozenSet[str]:
+    """Relations that can ever hold a fact, starting from ``base``.
+
+    The fixpoint over-approximates reachability for every branch
+    selection of every ded, so its complement — the never-populatable
+    relations — is exact for deadness purposes: no run, under any
+    branch choice, puts a fact there.
+    """
+    populatable: Set[str] = set(base)
+    live = [contradiction_reason(d.premise) is None for d in dependencies]
+    changed = True
+    while changed:
+        changed = False
+        for index, dependency in enumerate(dependencies):
+            if not live[index]:
+                continue
+            if _positive_premise_relations(dependency) <= populatable:
+                added = _conclusion_relations(dependency) - populatable
+                if added:
+                    populatable |= added
+                    changed = True
+    return frozenset(populatable)
+
+
+def dead_dependency_indices(
+    dependencies: Sequence[Dependency], base: Iterable[str]
+) -> Tuple[int, ...]:
+    """Indices whose premise can never match: it mentions a
+    never-populatable relation, or its comparisons are contradictory.
+
+    ``base`` is the set of relations that actually hold facts at the
+    start of the run, so the engine recomputes this per run instance —
+    a dependency dead for one source instance may be live for another.
+    """
+    populatable = populatable_relations(dependencies, base)
+    return tuple(
+        index
+        for index, dependency in enumerate(dependencies)
+        if not _positive_premise_relations(dependency) <= populatable
+        or contradiction_reason(dependency.premise) is not None
+    )
+
+
+def fire_schedule(dependencies: Sequence[Dependency]) -> Tuple[Tuple[int, ...], ...]:
+    """SCC condensation of the dependency firing graph, topologically.
+
+    Dependency ``i`` feeds ``j`` when a conclusion relation of ``i``
+    appears in the positive premise of ``j``.  Mutually recursive
+    dependencies share a stratum; stratum order is the deterministic
+    condensation order, so facts only ever flow forward.
+    """
+    produces = [_conclusion_relations(d) for d in dependencies]
+    consumes = [_positive_premise_relations(d) for d in dependencies]
+    nodes = list(range(len(dependencies)))
+    edges = [
+        (i, j)
+        for i in nodes
+        for j in nodes
+        if produces[i] & consumes[j]
+    ]
+    return tuple(condensation_order(nodes, edges))
+
+
+@dataclass(frozen=True)
+class FiringReport:
+    """Firing-graph artifacts for one dependency set and base."""
+
+    relations: Tuple[str, ...]
+    edges: Tuple[Tuple[str, str], ...]
+    base_relations: Tuple[str, ...]
+    populatable: FrozenSet[str]
+    dead_dependencies: Tuple[int, ...]
+    strata: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def unpopulatable(self) -> Tuple[str, ...]:
+        return tuple(
+            relation
+            for relation in self.relations
+            if relation not in self.populatable
+        )
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "relations": list(self.relations),
+            "edges": [list(edge) for edge in self.edges],
+            "base_relations": list(self.base_relations),
+            "populatable": sorted(self.populatable),
+            "unpopulatable": list(self.unpopulatable),
+            "dead_dependencies": list(self.dead_dependencies),
+            "strata": [list(stratum) for stratum in self.strata],
+        }
+
+
+def analyze_firing(
+    dependencies: Sequence[Dependency], base: Iterable[str]
+) -> FiringReport:
+    """Full firing analysis: graph, fixpoint, dead set, schedule."""
+    base_sorted = tuple(sorted(set(base)))
+    relations: Set[str] = set(base_sorted)
+    for dependency in dependencies:
+        relations |= dependency.relations()
+    return FiringReport(
+        relations=tuple(sorted(relations)),
+        edges=tuple(firing_edges(dependencies)),
+        base_relations=base_sorted,
+        populatable=populatable_relations(dependencies, base_sorted),
+        dead_dependencies=dead_dependency_indices(dependencies, base_sorted),
+        strata=fire_schedule(dependencies),
+    )

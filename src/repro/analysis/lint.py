@@ -1,0 +1,209 @@
+"""``grom lint``: the analyzer pointed at scenario files and corpora.
+
+A lint run takes a scenario — DSL text, a file, or an in-memory
+:class:`~repro.core.scenario.MappingScenario` — through parse → rewrite
+→ :func:`~repro.analysis.analyzer.analyze_dependencies` and packages
+the diagnostics with best-effort source spans.  Parse and rewrite
+failures become diagnostics too (``GROM104``/``GROM105``), so a lint
+run never raises on bad input: CI greps the JSON report, humans read
+the pretty rendering, and the exit status is the error count.
+
+Spans are best-effort by design: the parser does not thread source
+locations through rewriting, so a diagnostic about dependency ``m1`` is
+anchored at the first occurrence of the token ``m1`` in the scenario
+text (or at the negated/unpopulatable relation's first mention).  A
+subject invented by the rewriter simply gets no span.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.analyzer import MappingAnalysis, analyze_dependencies
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    SourceSpan,
+    has_errors,
+    render_diagnostic,
+    sort_diagnostics,
+)
+from repro.errors import GromError, ParseError
+
+__all__ = [
+    "LintReport",
+    "lint_text",
+    "lint_file",
+    "lint_scenario",
+    "render_report",
+    "reports_payload",
+]
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The lint outcome for one scenario."""
+
+    source: str
+    scenario: str
+    diagnostics: Tuple[Diagnostic, ...]
+    analysis: Optional[MappingAnalysis] = None
+
+    @property
+    def ok(self) -> bool:
+        return not has_errors(self.diagnostics)
+
+    def severity_counts(self) -> Dict[str, int]:
+        counts = {severity.value: 0 for severity in Severity}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.severity.value] += 1
+        return counts
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "source": self.source,
+            "scenario": self.scenario,
+            "ok": self.ok,
+            "severity_counts": self.severity_counts(),
+            "diagnostics": [d.to_payload() for d in self.diagnostics],
+            "analysis": self.analysis.to_payload() if self.analysis else None,
+        }
+
+
+def _locate(text: str, token: str) -> Optional[SourceSpan]:
+    """First whole-word occurrence of ``token`` in ``text``, 1-based."""
+    if not token:
+        return None
+    pattern = re.compile(rf"\b{re.escape(token)}\b")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        match = pattern.search(line)
+        if match is not None:
+            return SourceSpan(
+                line=line_number,
+                column=match.start() + 1,
+                end_column=match.end() + 1,
+            )
+    return None
+
+
+def _attach_spans(
+    diagnostics: Sequence[Diagnostic], text: str
+) -> Tuple[Diagnostic, ...]:
+    out: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        span = diagnostic.span or _locate(text, diagnostic.subject)
+        out.append(diagnostic.with_span(span))
+    return sort_diagnostics(out)
+
+
+def lint_scenario(scenario, source: str = "<scenario>") -> LintReport:
+    """Lint an in-memory scenario (no source text, hence no spans)."""
+    from repro.core.rewriter import rewrite
+
+    try:
+        result = rewrite(scenario)
+    except GromError as error:
+        return LintReport(
+            source=source,
+            scenario=getattr(scenario, "name", ""),
+            diagnostics=(
+                Diagnostic(code="GROM105", message=str(error)),
+            ),
+        )
+    analysis = analyze_dependencies(
+        result.dependencies,
+        result.source_relations(),
+        result.target_relations(),
+    )
+    return LintReport(
+        source=source,
+        scenario=getattr(scenario, "name", ""),
+        diagnostics=analysis.diagnostics,
+        analysis=analysis,
+    )
+
+
+def lint_text(text: str, source: str = "<scenario>") -> LintReport:
+    """Lint DSL scenario text, attaching best-effort source spans."""
+    from repro.dsl.parser import parse_scenario
+
+    try:
+        document = parse_scenario(text)
+    except ParseError as error:
+        span = (
+            SourceSpan(line=error.line, column=max(error.column, 1))
+            if error.line
+            else None
+        )
+        return LintReport(
+            source=source,
+            scenario="",
+            diagnostics=(
+                Diagnostic(code="GROM104", message=str(error), span=span),
+            ),
+        )
+    except GromError as error:
+        # Schema/arity validation failures raised while assembling the
+        # parsed scenario: still the file's fault, still a diagnostic.
+        return LintReport(
+            source=source,
+            scenario="",
+            diagnostics=(
+                Diagnostic(code="GROM104", message=str(error)),
+            ),
+        )
+    report = lint_scenario(document.scenario, source=source)
+    return LintReport(
+        source=report.source,
+        scenario=report.scenario,
+        diagnostics=_attach_spans(report.diagnostics, text),
+        analysis=report.analysis,
+    )
+
+
+def lint_file(path: Path) -> LintReport:
+    """Lint one ``.grom`` scenario file."""
+    try:
+        text = path.read_text()
+    except OSError as error:
+        return LintReport(
+            source=str(path),
+            scenario="",
+            diagnostics=(
+                Diagnostic(code="GROM104", message=f"cannot read file: {error}"),
+            ),
+        )
+    return lint_text(text, source=str(path))
+
+
+def render_report(report: LintReport, minimum: Severity = Severity.INFO) -> str:
+    """Pretty, line-oriented rendering of one report."""
+    lines = [
+        render_diagnostic(diagnostic, source=report.source)
+        for diagnostic in report.diagnostics
+        if diagnostic.severity.rank <= minimum.rank
+    ]
+    counts = report.severity_counts()
+    scenario = f" ({report.scenario})" if report.scenario else ""
+    lines.append(
+        f"{report.source}{scenario}: "
+        f"{counts['error']} errors, {counts['warning']} warnings, "
+        f"{counts['info']} notes"
+    )
+    return "\n".join(lines)
+
+
+def reports_payload(reports: Sequence[LintReport]) -> Dict[str, object]:
+    """The machine-readable lint report CI uploads as an artifact."""
+    totals = {severity.value: 0 for severity in Severity}
+    for report in reports:
+        for severity, count in report.severity_counts().items():
+            totals[severity] += count
+    return {
+        "reports": [report.to_payload() for report in reports],
+        "totals": totals,
+        "ok": all(report.ok for report in reports),
+    }

@@ -1,0 +1,169 @@
+"""Static satisfiability of premise comparison sets.
+
+A premise only matches bindings that satisfy *all* of its comparisons,
+so a contradictory comparison set (``x < 2, x > 4``) makes the whole
+dependency dead code — no instance, however large, can ever fire it.
+:func:`contradiction_reason` detects the decidable fragment of this:
+
+* ground comparisons that evaluate to false;
+* reflexive impossibilities (``x < x``, ``x != x``);
+* opposite variable-pair constraints (``x < y`` together with ``y <= x``,
+  ``x = y`` together with ``x != y``);
+* an empty constant interval per variable (lower/upper bounds, pinned
+  values and exclusions).
+
+The analysis is sound for instances with labeled nulls: order
+comparisons are only satisfied by comparable constants, and ``=`` on
+nulls is null identity, so a binding that escapes the constant-level
+contradiction still fails at least one comparison directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.logic.atoms import Comparison, Conjunction
+from repro.logic.terms import Constant, Variable
+
+__all__ = ["contradiction_reason"]
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+def _render(comparison: Comparison) -> str:
+    def term(t: object) -> str:
+        if isinstance(t, Variable):
+            return t.name
+        if isinstance(t, Constant):
+            return repr(t.value)
+        return str(t)
+
+    return f"{term(comparison.left)} {comparison.op} {term(comparison.right)}"
+
+
+def _same(a: object, b: object) -> bool:
+    """Typed equality: values of different Python types never match."""
+    return type(a) is type(b) and a == b
+
+
+def _comparable(a: object, b: object) -> bool:
+    """Same-type values (bool kept apart from int, as typed columns do)."""
+    return type(a) is type(b) and not isinstance(a, bool)
+
+
+class _Interval:
+    """Narrowing constant bounds for one variable."""
+
+    def __init__(self) -> None:
+        self.lower: Optional[Tuple[object, bool]] = None  # (bound, inclusive)
+        self.upper: Optional[Tuple[object, bool]] = None
+        self.pinned: Optional[Tuple[object]] = None
+        self.excluded: List[object] = []
+
+    def constrain(self, op: str, value: object) -> bool:
+        """Apply ``var op value``; False when the interval became empty."""
+        if op == "=":
+            if self.pinned is not None and not _same(self.pinned[0], value):
+                return False
+            self.pinned = (value,)
+        elif op == "!=":
+            self.excluded.append(value)
+        elif op in ("<", "<="):
+            inclusive = op == "<="
+            if self.upper is None:
+                self.upper = (value, inclusive)
+            elif _comparable(value, self.upper[0]) and (
+                value < self.upper[0]
+                or (value == self.upper[0] and not inclusive)
+            ):
+                self.upper = (value, inclusive)
+        else:  # > / >=
+            inclusive = op == ">="
+            if self.lower is None:
+                self.lower = (value, inclusive)
+            elif _comparable(value, self.lower[0]) and (
+                value > self.lower[0]
+                or (value == self.lower[0] and not inclusive)
+            ):
+                self.lower = (value, inclusive)
+        return self._consistent()
+
+    def _consistent(self) -> bool:
+        lo, hi = self.lower, self.upper
+        if lo and hi and _comparable(lo[0], hi[0]):
+            if lo[0] > hi[0]:
+                return False
+            if lo[0] == hi[0] and not (lo[1] and hi[1]):
+                return False
+        if self.pinned is not None:
+            value = self.pinned[0]
+            if any(_same(value, other) for other in self.excluded):
+                return False
+            if (
+                lo
+                and _comparable(value, lo[0])
+                and (value < lo[0] or (value == lo[0] and not lo[1]))
+            ):
+                return False
+            if (
+                hi
+                and _comparable(value, hi[0])
+                and (value > hi[0] or (value == hi[0] and not hi[1]))
+            ):
+                return False
+        return True
+
+
+def contradiction_reason(premise: Conjunction) -> Optional[str]:
+    """A human-readable reason when the comparisons can never all hold.
+
+    ``None`` means "no contradiction found", not "satisfiable" — the
+    check is deliberately incomplete (it ignores transitive chains like
+    ``x < y, y < z, z < x``).
+    """
+    intervals: Dict[Variable, _Interval] = {}
+    pair_ops: Dict[Tuple[Variable, Variable], List[Tuple[str, Comparison]]] = {}
+
+    for comparison in premise.comparisons:
+        left, right, op = comparison.left, comparison.right, comparison.op
+        if comparison.is_ground():
+            if not comparison.evaluate():
+                return f"comparison {_render(comparison)} is false"
+            continue
+        if isinstance(left, Constant) and isinstance(right, Variable):
+            left, right, op = right, left, _FLIP[op]
+        if isinstance(left, Variable) and isinstance(right, Constant):
+            interval = intervals.setdefault(left, _Interval())
+            if not interval.constrain(op, right.value):
+                return (
+                    f"comparisons on {left.name} are contradictory "
+                    f"(at {_render(comparison)})"
+                )
+            continue
+        if isinstance(left, Variable) and isinstance(right, Variable):
+            if left == right and op in ("<", ">", "!="):
+                return f"comparison {_render(comparison)} can never hold"
+            if left == right:
+                continue
+            key, keyed_op = (left, right), op
+            if (right, left) in pair_ops or right.name < left.name:
+                key, keyed_op = (right, left), _FLIP[op]
+            seen = pair_ops.setdefault(key, [])
+            for prior_op, prior in seen:
+                if _opposed(prior_op, keyed_op):
+                    return (
+                        f"comparisons {_render(prior)} and "
+                        f"{_render(comparison)} are contradictory"
+                    )
+            seen.append((keyed_op, comparison))
+    return None
+
+
+_OPPOSED = {
+    ("<", ">"), ("<", ">="), ("<", "="),
+    ("<=", ">"), ("=", ">"), ("=", "!="),
+}
+
+
+def _opposed(a: str, b: str) -> bool:
+    return (a, b) in _OPPOSED or (b, a) in _OPPOSED

@@ -1,0 +1,606 @@
+"""Chase termination criteria: weak, joint, and super-weak acyclicity.
+
+The chase is guaranteed to terminate for *weakly acyclic* dependency
+sets (Fagin, Kolaitis, Miller, Popa — the paper's [4]).  That criterion
+is the seed of this module; it now sits in a ladder of strictly more
+general classes:
+
+``FULL`` ⊂ ``WEAKLY_ACYCLIC`` ⊂ ``JOINTLY_ACYCLIC`` ⊂ ``SUPER_WEAKLY_ACYCLIC``
+
+* **full** — no existential variables anywhere; the chase is bounded by
+  the active domain regardless of policy.
+* **weak acyclicity** — no cycle through a special edge of the position
+  graph; sound for tgds *and* egds, and for every chase policy
+  (including the oblivious chase).
+* **joint acyclicity** (Krötzsch & Rudolph) — per-existential ``Mov``
+  position sets; acyclicity of the existential-dependency graph proves
+  termination of the skolem chase, hence of the restricted chase.
+* **super-weak acyclicity** (Marnette) — place-level refinement of
+  joint acyclicity that can see constants: a head place only feeds a
+  body place when the two atoms unify, so constant clashes break flow
+  that the position-level criteria must assume.
+
+Two soundness caps are deliberate:
+
+* Joint and super-weak acyclicity are only attempted on *equality-free*
+  sets.  Egd unification can merge nulls into frontier bindings in ways
+  the position/place flow does not model; with equalities present the
+  ladder stops at weak acyclicity.
+* Joint/super-weak proofs do **not** cover the classical oblivious
+  chase (one null per full-body trigger): ``R(x,y) → ∃z R(x,z)`` is
+  jointly acyclic, yet the oblivious chase re-triggers on every fresh
+  null forever.  :meth:`TerminationReport.proven_for` encodes which
+  policy a verdict licenses; the engine must consult it before
+  dropping guards.
+
+Ded disjuncts are union-edged (every branch contributes flow), so a
+verdict is sound for any branch selection the greedy ded chase makes.
+Premise negation restricts matches and contributes no value flow; it is
+ignored here and vetted separately by the lint layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.graphs import strongly_connected_components
+from repro.logic.atoms import Atom
+from repro.logic.dependencies import Dependency
+from repro.logic.terms import Constant, Variable
+
+__all__ = [
+    "Position",
+    "PositionGraph",
+    "position_graph",
+    "is_weakly_acyclic",
+    "weak_acyclicity_report",
+    "TerminationClass",
+    "TerminationReport",
+    "classify_termination",
+]
+
+Position = Tuple[str, int]
+"""(relation, column index)."""
+
+
+@dataclass
+class PositionGraph:
+    """The dependency position graph with regular and special edges."""
+
+    regular: Set[Tuple[Position, Position]]
+    special: Set[Tuple[Position, Position]]
+
+    def all_edges(self) -> List[Tuple[Position, Position, bool]]:
+        out = [(a, b, False) for a, b in sorted(self.regular)]
+        out += [(a, b, True) for a, b in sorted(self.special)]
+        return out
+
+
+def position_graph(dependencies: Iterable[Dependency]) -> PositionGraph:
+    """Build the position graph of a dependency set.
+
+    For each dependency, each disjunct is treated as a tgd conclusion:
+    for every premise position ``p`` of a frontier variable ``x``:
+
+    * a regular edge ``p → q`` for every conclusion position ``q`` of ``x``;
+    * a special edge ``p → q'`` for every conclusion position ``q'`` of an
+      existentially quantified variable in the same disjunct.
+    """
+    regular: Set[Tuple[Position, Position]] = set()
+    special: Set[Tuple[Position, Position]] = set()
+    for dependency in dependencies:
+        premise_positions: Dict[Variable, List[Position]] = {}
+        for atom in dependency.premise.atoms:
+            for index, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    premise_positions.setdefault(term, []).append(
+                        (atom.relation, index)
+                    )
+        for disjunct in dependency.disjuncts:
+            if not disjunct.atoms:
+                continue
+            conclusion_positions: Dict[Variable, List[Position]] = {}
+            for atom in disjunct.atoms:
+                for index, term in enumerate(atom.terms):
+                    if isinstance(term, Variable):
+                        conclusion_positions.setdefault(term, []).append(
+                            (atom.relation, index)
+                        )
+            frontier = [
+                v for v in conclusion_positions if v in premise_positions
+            ]
+            existential = [
+                v for v in conclusion_positions if v not in premise_positions
+            ]
+            for variable in frontier:
+                for source in premise_positions[variable]:
+                    for target in conclusion_positions[variable]:
+                        regular.add((source, target))
+                    for invented in existential:
+                        for target in conclusion_positions[invented]:
+                            special.add((source, target))
+    return PositionGraph(regular, special)
+
+
+def _rich_position_graph(dependencies: Iterable[Dependency]) -> PositionGraph:
+    """The *extended* position graph of Hernich & Schweikardt.
+
+    Like :func:`position_graph`, but special edges start from the
+    positions of **every** premise variable, frontier or not: the
+    oblivious chase fires once per full-body binding, so a null landing
+    in any body position — even one the head never copies — re-triggers
+    the rule and mints fresh nulls.  Acyclicity of this graph (*rich
+    acyclicity*) is what licenses dropping guards under the oblivious
+    policy; ``R(x,y) → ∃z R(x,z)`` is weakly but not richly acyclic.
+    """
+    dependencies = list(dependencies)
+    base = position_graph(dependencies)
+    special = set(base.special)
+    for dependency in dependencies:
+        premise_positions: Dict[Variable, List[Position]] = {}
+        for atom in dependency.premise.atoms:
+            for index, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    premise_positions.setdefault(term, []).append(
+                        (atom.relation, index)
+                    )
+        for disjunct in dependency.disjuncts:
+            if not disjunct.atoms:
+                continue
+            existential_positions: List[Position] = []
+            for atom in disjunct.atoms:
+                for index, term in enumerate(atom.terms):
+                    if isinstance(term, Variable) and term not in premise_positions:
+                        existential_positions.append((atom.relation, index))
+            if not existential_positions:
+                continue
+            for positions in premise_positions.values():
+                for source in positions:
+                    for target in existential_positions:
+                        special.add((source, target))
+    return PositionGraph(set(base.regular), special)
+
+
+def _cyclic_special_edges(graph: PositionGraph) -> List[Tuple[Position, Position]]:
+    """Special edges lying inside a strongly connected component."""
+    nodes: List[Position] = sorted(
+        {p for edge in graph.regular | graph.special for p in edge}
+    )
+    edges = sorted(graph.regular | graph.special)
+    component_of: Dict[Position, int] = {}
+    for index, component in enumerate(strongly_connected_components(nodes, edges)):
+        for node in component:
+            component_of[node] = index
+    return [
+        (source, target)
+        for source, target in sorted(graph.special)
+        if component_of[source] == component_of[target]
+    ]
+
+
+def is_weakly_acyclic(dependencies: Iterable[Dependency]) -> bool:
+    """Whether the dependency set is weakly acyclic.
+
+    True iff the position graph has no cycle passing through a special
+    edge — equivalently, no strongly connected component contains a
+    special edge.
+    """
+    return not _cyclic_special_edges(position_graph(dependencies))
+
+
+def weak_acyclicity_report(
+    dependencies: Sequence[Dependency],
+) -> Tuple[bool, List[Tuple[Position, Position]]]:
+    """Weak acyclicity plus the special edges inside cycles (the culprits)."""
+    culprits = _cyclic_special_edges(position_graph(dependencies))
+    return (not culprits, culprits)
+
+
+# ---------------------------------------------------------------------------
+# Rule view shared by the joint and super-weak analyses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Rule:
+    """One (dependency, disjunct) pair seen as a plain existential rule."""
+
+    dep_index: int
+    disjunct_index: int
+    body: Tuple[Atom, ...]
+    head: Tuple[Atom, ...]
+
+    @property
+    def rule_id(self) -> Tuple[int, int]:
+        return (self.dep_index, self.disjunct_index)
+
+    def body_positions(self) -> Dict[Variable, FrozenSet[Position]]:
+        out: Dict[Variable, Set[Position]] = {}
+        for atom in self.body:
+            for index, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    out.setdefault(term, set()).add((atom.relation, index))
+        return {variable: frozenset(positions) for variable, positions in out.items()}
+
+    def head_positions(self) -> Dict[Variable, FrozenSet[Position]]:
+        out: Dict[Variable, Set[Position]] = {}
+        for atom in self.head:
+            for index, term in enumerate(atom.terms):
+                if isinstance(term, Variable):
+                    out.setdefault(term, set()).add((atom.relation, index))
+        return {variable: frozenset(positions) for variable, positions in out.items()}
+
+
+def _rules(dependencies: Sequence[Dependency]) -> List[_Rule]:
+    """Flatten deds into one rule per atom-bearing disjunct.
+
+    Equality-only disjuncts create no atoms and contribute no value
+    flow; denials have no disjuncts at all.  Both vanish here.
+    """
+    rules: List[_Rule] = []
+    for dep_index, dependency in enumerate(dependencies):
+        for disjunct_index, disjunct in enumerate(dependency.disjuncts):
+            if disjunct.atoms:
+                rules.append(
+                    _Rule(
+                        dep_index,
+                        disjunct_index,
+                        dependency.premise.atoms,
+                        disjunct.atoms,
+                    )
+                )
+    return rules
+
+
+def _has_cycle(nodes: Sequence, edges: Set[Tuple]) -> bool:
+    """True iff the graph has a directed cycle (self-loops included)."""
+    if any(source == target for source, target in edges):
+        return True
+    return any(
+        len(component) > 1
+        for component in strongly_connected_components(nodes, sorted(edges))
+    )
+
+
+# ---------------------------------------------------------------------------
+# Joint acyclicity (Krötzsch & Rudolph)
+# ---------------------------------------------------------------------------
+
+
+def _is_jointly_acyclic(rules: Sequence[_Rule]) -> bool:
+    """Joint acyclicity of an equality-free rule set.
+
+    For each existential variable ``y``, ``Mov(y)`` is the least set of
+    positions containing every head position of ``y`` and closed under:
+    if ALL body positions of a frontier variable ``x`` (of any rule) are
+    in ``Mov(y)``, then all head positions of ``x`` are too.  The
+    existential-dependency graph has an edge ``(r, y) → (r', y')`` iff
+    some frontier variable of ``r'`` has all its body positions inside
+    ``Mov(y)``; the set is jointly acyclic iff that graph is acyclic.
+    """
+    body_of = {rule.rule_id: rule.body_positions() for rule in rules}
+    head_of = {rule.rule_id: rule.head_positions() for rule in rules}
+    frontier_of = {
+        rule.rule_id: sorted(
+            set(body_of[rule.rule_id]) & set(head_of[rule.rule_id])
+        )
+        for rule in rules
+    }
+
+    existentials: List[Tuple[Tuple[int, int], Variable]] = []
+    for rule in rules:
+        for variable in sorted(
+            set(head_of[rule.rule_id]) - set(body_of[rule.rule_id])
+        ):
+            existentials.append((rule.rule_id, variable))
+
+    def movement(rule_id: Tuple[int, int], variable: Variable) -> FrozenSet[Position]:
+        mov: Set[Position] = set(head_of[rule_id][variable])
+        changed = True
+        while changed:
+            changed = False
+            for rule in rules:
+                for frontier_var in frontier_of[rule.rule_id]:
+                    if body_of[rule.rule_id][frontier_var] <= mov:
+                        added = head_of[rule.rule_id][frontier_var] - mov
+                        if added:
+                            mov |= added
+                            changed = True
+        return frozenset(mov)
+
+    mov_of = {node: movement(*node) for node in existentials}
+    edges: Set[Tuple[Tuple, Tuple]] = set()
+    for source in existentials:
+        mov = mov_of[source]
+        for rule in rules:
+            if not any(
+                body_of[rule.rule_id][frontier_var] <= mov
+                for frontier_var in frontier_of[rule.rule_id]
+            ):
+                continue
+            for target in existentials:
+                if target[0] == rule.rule_id:
+                    edges.add((source, target))
+    return not _has_cycle(existentials, edges)
+
+
+# ---------------------------------------------------------------------------
+# Super-weak acyclicity (Marnette)
+# ---------------------------------------------------------------------------
+
+_Place = Tuple[Tuple[int, int], str, int, int]
+"""(rule id, "body" | "head", atom index, position index)."""
+
+
+def _atoms_unify(left: Atom, right: Atom) -> bool:
+    """Conservative atom unification: only constant clashes refute it.
+
+    Repeated-variable constraints are ignored, which over-approximates
+    real unifiability — extra flow can only make the criterion *fail*
+    to prove termination, never prove it wrongly.
+    """
+    if left.relation != right.relation or len(left.terms) != len(right.terms):
+        return False
+    return not any(
+        isinstance(term_left, Constant)
+        and isinstance(term_right, Constant)
+        and term_left != term_right
+        for term_left, term_right in zip(left.terms, right.terms)
+    )
+
+
+def _is_super_weakly_acyclic(rules: Sequence[_Rule]) -> bool:
+    """Super-weak acyclicity of an equality-free rule set.
+
+    Places are variable occurrences in atoms.  ``Move(r)`` is the least
+    place set containing the head places of ``r``'s existential
+    variables and closed under transfer: if SOME body place of a
+    frontier variable ``x`` unifies with a place in the set, all head
+    places of ``x`` join it.  ``r ≺ r'`` iff a body-variable place of
+    ``r'`` unifies with a place in ``Move(r)``; super-weak acyclicity
+    is acyclicity of ``≺``.
+    """
+    atom_at: Dict[Tuple[Tuple[int, int], str, int], Atom] = {}
+    body_places: Dict[Tuple[int, int], Dict[Variable, List[_Place]]] = {}
+    head_places: Dict[Tuple[int, int], Dict[Variable, List[_Place]]] = {}
+    for rule in rules:
+        body_places[rule.rule_id] = {}
+        head_places[rule.rule_id] = {}
+        for part, atoms, registry in (
+            ("body", rule.body, body_places[rule.rule_id]),
+            ("head", rule.head, head_places[rule.rule_id]),
+        ):
+            for atom_index, atom in enumerate(atoms):
+                atom_at[(rule.rule_id, part, atom_index)] = atom
+                for position, term in enumerate(atom.terms):
+                    if isinstance(term, Variable):
+                        registry.setdefault(term, []).append(
+                            (rule.rule_id, part, atom_index, position)
+                        )
+
+    def places_unify(left: _Place, right: _Place) -> bool:
+        if left[3] != right[3]:
+            return False
+        return _atoms_unify(atom_at[left[:3]], atom_at[right[:3]])
+
+    def move(rule: _Rule) -> List[_Place]:
+        current: List[_Place] = []
+        for variable in sorted(set(head_places[rule.rule_id]) - set(body_places[rule.rule_id])):
+            current.extend(head_places[rule.rule_id][variable])
+        seen = set(current)
+        changed = True
+        while changed:
+            changed = False
+            for other in rules:
+                other_frontier = set(body_places[other.rule_id]) & set(
+                    head_places[other.rule_id]
+                )
+                for variable in sorted(other_frontier):
+                    if any(
+                        places_unify(body_place, move_place)
+                        for body_place in body_places[other.rule_id][variable]
+                        for move_place in current
+                    ):
+                        for head_place in head_places[other.rule_id][variable]:
+                            if head_place not in seen:
+                                seen.add(head_place)
+                                current.append(head_place)
+                                changed = True
+        return current
+
+    move_of = {rule.rule_id: move(rule) for rule in rules}
+    edges: Set[Tuple[Tuple[int, int], Tuple[int, int]]] = set()
+    for rule in rules:
+        source_move = move_of[rule.rule_id]
+        if not source_move:
+            continue
+        for other in rules:
+            if any(
+                places_unify(body_place, move_place)
+                for variable in sorted(body_places[other.rule_id])
+                for body_place in body_places[other.rule_id][variable]
+                for move_place in source_move
+            ):
+                edges.add((rule.rule_id, other.rule_id))
+    rule_ids = [rule.rule_id for rule in rules]
+    return not _has_cycle(rule_ids, edges)
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+
+
+class TerminationClass(enum.Enum):
+    """The cheapest criterion that proves the chase terminates."""
+
+    FULL = "full"
+    WEAKLY_ACYCLIC = "weakly_acyclic"
+    JOINTLY_ACYCLIC = "jointly_acyclic"
+    SUPER_WEAKLY_ACYCLIC = "super_weakly_acyclic"
+    UNPROVEN = "unproven"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class TerminationReport:
+    """Outcome of the termination ladder over one dependency set."""
+
+    classification: TerminationClass
+    proven: bool
+    weakly_acyclic: Optional[bool] = None
+    jointly_acyclic: Optional[bool] = None
+    super_weakly_acyclic: Optional[bool] = None
+    richly_acyclic: Optional[bool] = None
+    has_existentials: bool = False
+    has_equalities: bool = False
+    has_deds: bool = False
+    culprits: Tuple[Tuple[Position, Position], ...] = field(default_factory=tuple)
+    detail: str = ""
+
+    def proven_for(self, policy: str) -> bool:
+        """Whether the verdict licenses dropping guards under ``policy``.
+
+        The oblivious chase fires once per *full-body* trigger, so a
+        null landing in any body position re-triggers the rule — weak
+        acyclicity does not bound it (``R(x,y) → ∃z R(x,z)``).  Only
+        full sets and richly acyclic equality-free sets drop guards
+        there.  The restricted chase terminates whenever the skolem
+        chase does, so every proven class applies.
+        """
+        if not self.proven:
+            return False
+        if policy == "oblivious":
+            if self.classification is TerminationClass.FULL:
+                return True
+            return bool(self.richly_acyclic) and not self.has_equalities
+        return True
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "classification": self.classification.value,
+            "proven": self.proven,
+            "weakly_acyclic": self.weakly_acyclic,
+            "jointly_acyclic": self.jointly_acyclic,
+            "super_weakly_acyclic": self.super_weakly_acyclic,
+            "richly_acyclic": self.richly_acyclic,
+            "has_existentials": self.has_existentials,
+            "has_equalities": self.has_equalities,
+            "has_deds": self.has_deds,
+            "culprits": [
+                [list(source), list(target)] for source, target in self.culprits
+            ],
+            "detail": self.detail,
+        }
+
+
+def classify_termination(dependencies: Sequence[Dependency]) -> TerminationReport:
+    """Run the termination ladder and report the cheapest proof found."""
+    dependencies = list(dependencies)
+    has_deds = any(dependency.is_ded() for dependency in dependencies)
+    has_equalities = any(
+        disjunct.equalities
+        for dependency in dependencies
+        for disjunct in dependency.disjuncts
+    )
+    has_existentials = any(
+        dependency.existential_variables(disjunct)
+        for dependency in dependencies
+        for disjunct in dependency.disjuncts
+        if disjunct.atoms
+    )
+
+    if not has_existentials:
+        return TerminationReport(
+            classification=TerminationClass.FULL,
+            proven=True,
+            has_existentials=False,
+            has_equalities=has_equalities,
+            has_deds=has_deds,
+            detail=(
+                "no existential variables: every dependency is full and the "
+                "chase is bounded by the active domain"
+            ),
+        )
+
+    weakly, culprits = weak_acyclicity_report(dependencies)
+    richly = not _cyclic_special_edges(_rich_position_graph(dependencies))
+    if weakly:
+        return TerminationReport(
+            classification=TerminationClass.WEAKLY_ACYCLIC,
+            proven=True,
+            weakly_acyclic=True,
+            richly_acyclic=richly,
+            has_existentials=True,
+            has_equalities=has_equalities,
+            has_deds=has_deds,
+            detail="no cycle through a special edge of the position graph",
+        )
+
+    if has_equalities:
+        # Egd unification can merge nulls into frontier bindings in ways
+        # the flow analyses below do not model; stop at weak acyclicity.
+        return TerminationReport(
+            classification=TerminationClass.UNPROVEN,
+            proven=False,
+            weakly_acyclic=False,
+            richly_acyclic=richly,
+            has_existentials=True,
+            has_equalities=True,
+            has_deds=has_deds,
+            culprits=tuple(culprits),
+            detail=(
+                "not weakly acyclic; joint/super-weak acyclicity are not "
+                "applied to sets with equalities"
+            ),
+        )
+
+    rules = _rules(dependencies)
+    jointly = _is_jointly_acyclic(rules)
+    if jointly:
+        return TerminationReport(
+            classification=TerminationClass.JOINTLY_ACYCLIC,
+            proven=True,
+            weakly_acyclic=False,
+            jointly_acyclic=True,
+            richly_acyclic=richly,
+            has_existentials=True,
+            has_equalities=False,
+            has_deds=has_deds,
+            culprits=tuple(culprits),
+            detail="existential-dependency graph of the Mov sets is acyclic",
+        )
+
+    super_weakly = _is_super_weakly_acyclic(rules)
+    if super_weakly:
+        return TerminationReport(
+            classification=TerminationClass.SUPER_WEAKLY_ACYCLIC,
+            proven=True,
+            weakly_acyclic=False,
+            jointly_acyclic=False,
+            super_weakly_acyclic=True,
+            richly_acyclic=richly,
+            has_existentials=True,
+            has_equalities=False,
+            has_deds=has_deds,
+            culprits=tuple(culprits),
+            detail="place-level trigger relation is acyclic",
+        )
+
+    return TerminationReport(
+        classification=TerminationClass.UNPROVEN,
+        proven=False,
+        weakly_acyclic=False,
+        jointly_acyclic=False,
+        super_weakly_acyclic=False,
+        richly_acyclic=richly,
+        has_existentials=True,
+        has_equalities=False,
+        has_deds=has_deds,
+        culprits=tuple(culprits),
+        detail="no termination criterion in the ladder applies",
+    )

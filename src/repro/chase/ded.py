@@ -39,6 +39,7 @@ from repro.chase.parallel import (
     effective_parallelism,
     parse_parallelism,
 )
+from repro.analysis.termination import TerminationReport
 from repro.chase.race import ProcessRacer, create_racer
 from repro.chase.result import ChaseResult, ChaseStats, ChaseStatus
 from repro.obs.recorder import TraceConfig, resolve_recorder
@@ -92,12 +93,18 @@ class GreedyDedChase:
         source_relations: Iterable[str] = (),
         config: Optional[ChaseConfig] = None,
         max_scenarios: int = 256,
+        termination: Optional["TerminationReport"] = None,
     ) -> None:
+        """``termination`` is the analyzer's verdict for the *whole* ded
+        set (disjuncts union-edged), so it is sound for every derived
+        scenario regardless of branch selection and is forwarded to each
+        :class:`StandardChase` the sweep runs."""
         self.standard = [d for d in dependencies if not d.is_ded()]
         self.deds = [d for d in dependencies if d.is_ded()]
         self.source_relations = frozenset(source_relations)
         self.config = config or ChaseConfig()
         self.max_scenarios = max_scenarios
+        self.termination = termination
         self._infos = [
             _DedInfo(
                 dependency=ded,
@@ -239,6 +246,7 @@ class GreedyDedChase:
                     branch_choice=choice,
                     compiled=self._compiled,
                     sharder=sharder,
+                    termination=self.termination,
                 )
                 step = time.perf_counter()
                 result = engine.run(
@@ -268,6 +276,7 @@ class GreedyDedChase:
                     self.config,
                     compiled=self._compiled[: len(self.standard)],
                     sharder=sharder,
+                    termination=self.termination,
                 )
                 step = time.perf_counter()
                 last = engine.run(
@@ -337,6 +346,7 @@ class GreedyDedChase:
                 inner_config,
                 branch_choice=choice,
                 compiled=compiled_for_worker(),
+                termination=self.termination,
             )
             return engine.run(source_instance, target_instance)
 

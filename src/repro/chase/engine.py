@@ -43,6 +43,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ChaseError, ChaseFailure, ChaseNonTermination
+from repro.analysis.firing import dead_dependency_indices
+from repro.analysis.termination import TerminationReport
 from repro.chase.compiled import (
     CompiledDependency,
     compile_dependencies,
@@ -98,6 +100,14 @@ class ChaseConfig:
     """Flight-recorder knobs (:class:`repro.obs.TraceConfig`).  ``None``
     or a disabled config means the chase runs uninstrumented — every
     probe degrades to a no-op on the shared null recorder."""
+
+    guards: str = "auto"
+    """``auto`` (default): when a static termination proof covering
+    this run's policy is supplied, drop the round/fact budgets and keep
+    trigger memory exact and unbounded — the proof, not the budget, is
+    what guarantees the run ends.  ``on``: always enforce budgets and
+    bounded trigger memory, proof or not (the differential suite uses
+    this to assert guarded and unguarded runs are bit-identical)."""
 
 
 class _NullMap:
@@ -176,6 +186,11 @@ class _TriggerMemory:
     (and are therefore conservatively skipped) must be identical across
     runs, or two oblivious chases of the same input could produce
     different instances once spilling starts.
+
+    ``exact_limit=None`` disables spilling entirely — every trigger is
+    remembered exactly.  That mode is only sound when something else
+    bounds the run, which is exactly what a static termination proof
+    provides (``ChaseConfig.guards``).
     """
 
     __slots__ = ("_exact", "_limit", "_bits", "_spilled")
@@ -183,9 +198,9 @@ class _TriggerMemory:
     BLOOM_BITS = 1 << 20  # 128 KiB of bytearray once spilling starts
     HASHES = 4
 
-    def __init__(self, exact_limit: int) -> None:
+    def __init__(self, exact_limit: Optional[int]) -> None:
         self._exact: Set[Tuple[int, Tuple[Term, ...]]] = set()
-        self._limit = max(0, exact_limit)
+        self._limit = None if exact_limit is None else max(0, exact_limit)
         self._bits: Optional[bytearray] = None
         self._spilled = 0
 
@@ -229,7 +244,7 @@ class _TriggerMemory:
 
     def add(self, trigger) -> None:
         if self._bits is None:
-            if len(self._exact) < self._limit:
+            if self._limit is None or len(self._exact) < self._limit:
                 self._exact.add(trigger)
                 return
             self._bits = bytearray(self.BLOOM_BITS // 8)
@@ -269,6 +284,7 @@ class StandardChase:
         branch_choice: Optional[Dict[int, int]] = None,
         compiled: Optional[Sequence[CompiledDependency]] = None,
         sharder: Optional[MatchSharder] = None,
+        termination: Optional[TerminationReport] = None,
     ) -> None:
         """``branch_choice`` maps a dependency's *position* in
         ``dependencies`` to the disjunct index to enforce, turning a ded
@@ -285,7 +301,13 @@ class StandardChase:
         ``sharder`` supplies an externally-owned match sharder (again the
         greedy ded search, which reuses one across all derived
         scenarios); when omitted, each :meth:`run` builds one from
-        ``config.parallelism`` and closes it on exit."""
+        ``config.parallelism`` and closes it on exit.
+
+        ``termination`` is the static analyzer's verdict for the
+        dependency set (or a superset of it — the proof is monotone
+        under removing dependencies).  With ``config.guards == "auto"``
+        and a proof covering ``config.policy``, the run drops its
+        round/fact budgets and keeps trigger memory exact."""
         self.dependencies = list(dependencies)
         self.source_relations = frozenset(source_relations)
         self.config = config or ChaseConfig()
@@ -308,6 +330,16 @@ class StandardChase:
                     f"GreedyDedChase or DisjunctiveChase"
                 )
             self._check_premise_negation(dependency)
+        self.termination = termination
+        self._unguarded = bool(
+            termination is not None
+            and self.config.guards == "auto"
+            and termination.proven_for(self.config.policy)
+        )
+        self._premise_relations = [
+            frozenset(atom.relation for atom in dependency.premise.atoms)
+            for dependency in self.dependencies
+        ]
 
     def _check_premise_negation(self, dependency: Dependency) -> None:
         for negation in dependency.premise.negations:
@@ -362,6 +394,7 @@ class StandardChase:
             "chase.run",
             dependencies=len(self.dependencies),
             parallelism=self.config.parallelism,
+            guards="dropped" if self._unguarded else "enforced",
         ):
             sharder.set_recorder(rec)
             try:
@@ -390,6 +423,7 @@ class StandardChase:
             stats=stats,
             failure_reason=reason,
             sharding=sharder.describe(),
+            guards="dropped" if self._unguarded else "enforced",
             trace=rec.to_payload() if owned_rec else None,
         )
 
@@ -428,6 +462,8 @@ class StandardChase:
         rec.count("chase.nulls_created", stats.nulls_created)
         rec.count("chase.premise_matches", stats.premise_matches)
         rec.count("chase.null_rewrites", stats.null_rewrites)
+        rec.count("chase.dependencies_pruned", stats.dependencies_pruned)
+        rec.count("chase.enumerations_skipped", stats.enumerations_skipped)
         compiles, recompiles, served = self._plan_counters()
         rec.count("plan.compiles", compiles - plan_mark[0])
         rec.count("plan.recompiles", recompiles - plan_mark[1])
@@ -451,25 +487,53 @@ class StandardChase:
         sharder: MatchSharder,
         rec,
     ) -> None:
-        fired_triggers = _TriggerMemory(self.config.oblivious_trigger_limit)
+        fired_triggers = _TriggerMemory(
+            None if self._unguarded else self.config.oblivious_trigger_limit
+        )
         # Exposed for memory-growth regression tests.
         self._trigger_memory = fired_triggers
+        # Dead-dependency pruning: the populatable fixpoint is seeded
+        # with the relations that actually hold facts *in this run's*
+        # working instance, so the dead set is exact per run (a premise
+        # over a never-populatable relation can never match, under any
+        # ded branch choice).
+        base = {fact.relation for fact in working}
+        dead = frozenset(dead_dependency_indices(self.dependencies, base))
+        stats.dependencies_pruned = len(dead)
         delta: Optional[Set[Atom]] = None  # None = evaluate everything
         since: Optional[int] = None  # generation the delta was taken from
         while True:
             stats.rounds += 1
-            if stats.rounds > self.config.max_rounds:
+            if not self._unguarded and stats.rounds > self.config.max_rounds:
                 raise ChaseNonTermination(
                     f"exceeded {self.config.max_rounds} chase rounds"
                 )
             generation = working.bump_generation()
             sharder.record_generation()
             sharder.begin_round(delta, since)
+            delta_relations = (
+                {fact.relation for fact in delta} if delta is not None else None
+            )
             rewrites_this_round = 0
             with rec.span(
                 "chase.round", round=stats.rounds, full=delta is None
             ) as round_span:
                 for index, dependency in enumerate(self.dependencies):
+                    if index in dead:
+                        stats.enumerations_skipped += 1
+                        continue
+                    # Delta rounds anchor enumeration on the new facts:
+                    # when none of them touch this premise, the sharder
+                    # would return zero matches — skip the call.
+                    if (
+                        delta_relations is not None
+                        and self._premise_relations[index]
+                        and not (
+                            self._premise_relations[index] & delta_relations
+                        )
+                    ):
+                        stats.enumerations_skipped += 1
+                        continue
                     rewrites_this_round += self._apply_dependency(
                         index, dependency, working, factory, stats, sharder,
                         fired_triggers, rec,
@@ -477,7 +541,11 @@ class StandardChase:
                 new_facts = set(working.facts_since(generation))
                 if rec.enabled:
                     round_span.annotate(new_facts=len(new_facts))
-            if self.config.max_facts is not None and len(working) > self.config.max_facts:
+            if (
+                not self._unguarded
+                and self.config.max_facts is not None
+                and len(working) > self.config.max_facts
+            ):
                 raise ChaseNonTermination(
                     f"exceeded {self.config.max_facts} facts"
                 )

@@ -40,6 +40,16 @@ class ChaseStats:
     null_rewrites: int = 0
     elapsed_seconds: float = 0.0
 
+    dependencies_pruned: int = 0
+    """Dependencies the static analyzer proved dead for this run's base
+    instance (their premise mentions a never-populatable relation); the
+    engine never enumerates them."""
+
+    enumerations_skipped: int = 0
+    """Enumerate phases skipped without calling the sharder — dead
+    dependencies plus delta rounds whose new facts cannot touch the
+    premise."""
+
     def merge(self, other: "ChaseStats") -> "ChaseStats":
         return ChaseStats(
             rounds=self.rounds + other.rounds,
@@ -50,6 +60,10 @@ class ChaseStats:
             premise_matches=self.premise_matches + other.premise_matches,
             null_rewrites=self.null_rewrites + other.null_rewrites,
             elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+            dependencies_pruned=self.dependencies_pruned
+            + other.dependencies_pruned,
+            enumerations_skipped=self.enumerations_skipped
+            + other.enumerations_skipped,
         )
 
 
@@ -86,6 +100,12 @@ class ChaseResult:
     """Per derived-scenario timings of the greedy ded sweep, in
     canonical selection order up to the winner: ``index``, ``selection``,
     ``status``, ``seconds`` and the ``worker`` that chased it."""
+
+    guards: str = "enforced"
+    """``enforced`` when the run kept its step budget and bounded
+    trigger memory, ``dropped`` when a static termination proof let the
+    engine run unbudgeted with exact trigger memory (see
+    :meth:`repro.analysis.TerminationReport.proven_for`)."""
 
     trace: Optional[Dict[str, object]] = None
     """Flight-recorder payload (spans + metric snapshot) when the run

@@ -1,129 +1,25 @@
-"""Chase termination analysis: weak acyclicity.
+"""Deprecated location: termination analysis lives in ``repro.analysis``.
 
-The chase is only guaranteed to terminate for *weakly acyclic* sets of
-tgds (Fagin, Kolaitis, Miller, Popa — the paper's [4]).  The rewriter's
-output is checked with this module before chasing; scenarios that are
-not weakly acyclic still run, but under a step budget.
-
-For deds, every disjunct is treated as a tgd head: if every derived
-standard scenario is weakly acyclic, every branch of the greedy ded
-chase terminates.
+The weak-acyclicity check grew into the full termination ladder (weak /
+joint / super-weak acyclicity) of :mod:`repro.analysis.termination`.
+This shim re-exports the original names so existing imports keep
+working; new code should import from ``repro.analysis``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from repro.analysis.termination import (
+    Position,
+    PositionGraph,
+    is_weakly_acyclic,
+    position_graph,
+    weak_acyclicity_report,
+)
 
-import networkx as nx
-
-from repro.logic.dependencies import Dependency
-from repro.logic.terms import Variable
-
-__all__ = ["PositionGraph", "position_graph", "is_weakly_acyclic", "weak_acyclicity_report"]
-
-Position = Tuple[str, int]
-"""(relation, column index)."""
-
-
-@dataclass
-class PositionGraph:
-    """The dependency position graph with regular and special edges."""
-
-    regular: Set[Tuple[Position, Position]]
-    special: Set[Tuple[Position, Position]]
-
-    def all_edges(self) -> List[Tuple[Position, Position, bool]]:
-        out = [(a, b, False) for a, b in sorted(self.regular)]
-        out += [(a, b, True) for a, b in sorted(self.special)]
-        return out
-
-
-def position_graph(dependencies: Iterable[Dependency]) -> PositionGraph:
-    """Build the position graph of a dependency set.
-
-    For each dependency, each disjunct is treated as a tgd conclusion:
-    for every premise position ``p`` of a frontier variable ``x``:
-
-    * a regular edge ``p → q`` for every conclusion position ``q`` of ``x``;
-    * a special edge ``p → q'`` for every conclusion position ``q'`` of an
-      existentially quantified variable in the same disjunct.
-    """
-    regular: Set[Tuple[Position, Position]] = set()
-    special: Set[Tuple[Position, Position]] = set()
-    for dependency in dependencies:
-        premise_positions: Dict[Variable, List[Position]] = {}
-        for atom in dependency.premise.atoms:
-            for index, term in enumerate(atom.terms):
-                if isinstance(term, Variable):
-                    premise_positions.setdefault(term, []).append(
-                        (atom.relation, index)
-                    )
-        for disjunct in dependency.disjuncts:
-            if not disjunct.atoms:
-                continue
-            conclusion_positions: Dict[Variable, List[Position]] = {}
-            for atom in disjunct.atoms:
-                for index, term in enumerate(atom.terms):
-                    if isinstance(term, Variable):
-                        conclusion_positions.setdefault(term, []).append(
-                            (atom.relation, index)
-                        )
-            frontier = [
-                v for v in conclusion_positions if v in premise_positions
-            ]
-            existential = [
-                v for v in conclusion_positions if v not in premise_positions
-            ]
-            for variable in frontier:
-                for source in premise_positions[variable]:
-                    for target in conclusion_positions[variable]:
-                        regular.add((source, target))
-                    for invented in existential:
-                        for target in conclusion_positions[invented]:
-                            special.add((source, target))
-    return PositionGraph(regular, special)
-
-
-def is_weakly_acyclic(dependencies: Iterable[Dependency]) -> bool:
-    """Whether the dependency set is weakly acyclic.
-
-    True iff the position graph has no cycle passing through a special
-    edge — equivalently, no strongly connected component contains a
-    special edge.
-    """
-    graph = position_graph(dependencies)
-    digraph = nx.DiGraph()
-    for source, target in graph.regular | graph.special:
-        digraph.add_edge(source, target)
-    component_of: Dict[Position, int] = {}
-    for index, component in enumerate(nx.strongly_connected_components(digraph)):
-        for node in component:
-            component_of[node] = index
-    for source, target in graph.special:
-        if component_of.get(source) is not None and component_of.get(
-            source
-        ) == component_of.get(target):
-            return False
-    return True
-
-
-def weak_acyclicity_report(
-    dependencies: Sequence[Dependency],
-) -> Tuple[bool, List[Tuple[Position, Position]]]:
-    """Weak acyclicity plus the special edges inside cycles (the culprits)."""
-    graph = position_graph(dependencies)
-    digraph = nx.DiGraph()
-    for source, target in graph.regular | graph.special:
-        digraph.add_edge(source, target)
-    component_of: Dict[Position, int] = {}
-    for index, component in enumerate(nx.strongly_connected_components(digraph)):
-        for node in component:
-            component_of[node] = index
-    culprits = [
-        (source, target)
-        for source, target in sorted(graph.special)
-        if component_of.get(source) == component_of.get(target)
-        and component_of.get(source) is not None
-    ]
-    return (not culprits, culprits)
+__all__ = [
+    "Position",
+    "PositionGraph",
+    "position_graph",
+    "is_weakly_acyclic",
+    "weak_acyclicity_report",
+]

@@ -5,6 +5,7 @@ browser, rewriter, chase engine — Figure 3); this CLI exposes the same
 workflow over DSL scenario files::
 
     grom analyze  scenario.grom      # ded prediction + problematic views
+    grom lint     scenario.grom      # static diagnostics + termination class
     grom rewrite  scenario.grom      # print Σ_ST ∪ Σ_T
     grom chase    scenario.grom      # rewrite + chase + verify
     grom demo                        # run the paper's Section 2 example
@@ -46,6 +47,28 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "analyze", help="predict deds and highlight problematic views"
     )
     analyze.add_argument("scenario", type=Path, help="DSL scenario file")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the static analyzer: termination class, fire schedule "
+             "and coded diagnostics; non-zero exit on error diagnostics",
+    )
+    lint.add_argument(
+        "scenarios", nargs="*", type=Path,
+        help="DSL scenario files to lint",
+    )
+    lint.add_argument(
+        "--corpus", default=None, metavar="NAME",
+        help="also lint every scenario of a generated corpus",
+    )
+    lint.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write the full machine-readable report to this file",
+    )
+    lint.add_argument(
+        "--quiet", action="store_true",
+        help="only print warnings and errors (suppress info diagnostics)",
+    )
 
     rewrite_cmd = subparsers.add_parser(
         "rewrite", help="print the rewritten source-to-target dependencies"
@@ -210,6 +233,61 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         )
     diagnostics.print()
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import (
+        Severity,
+        lint_file,
+        lint_scenario,
+        render_report,
+        reports_payload,
+    )
+
+    reports = []
+    for path in args.scenarios:
+        reports.append(lint_file(path))
+    if args.corpus is not None:
+        from repro.runtime.corpus import get_corpus
+
+        try:
+            corpus = get_corpus(args.corpus)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        for spec in corpus:
+            generated = spec.build()
+            reports.append(
+                lint_scenario(
+                    generated.scenario,
+                    source=f"{corpus.name}:{spec.label}",
+                )
+            )
+    if not reports:
+        print("error: nothing to lint (pass scenario files or --corpus)",
+              file=sys.stderr)
+        return 2
+
+    minimum = Severity.WARNING if args.quiet else Severity.INFO
+    clean = 0
+    for report in reports:
+        rendered = render_report(report, minimum=minimum)
+        if rendered:
+            print(rendered)
+        if report.ok:
+            clean += 1
+    payload = reports_payload(reports)
+    if args.json is not None:
+        args.json.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"wrote lint report to {args.json}")
+    totals = payload["totals"]
+    print(
+        f"linted {len(reports)} scenario(s): {clean} clean, "
+        f"{totals['error']} error(s), {totals['warning']} warning(s)"
+    )
+    return 0 if payload["ok"] else 1
 
 
 def _cmd_rewrite(args: argparse.Namespace) -> int:
@@ -430,6 +508,7 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "analyze": _cmd_analyze,
+        "lint": _cmd_lint,
         "rewrite": _cmd_rewrite,
         "chase": _cmd_chase,
         "demo": _cmd_demo,

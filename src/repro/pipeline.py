@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.analysis import MappingAnalysis, analyze_dependencies
 from repro.chase.ded import GreedyDedChase
 from repro.chase.engine import ChaseConfig, StandardChase
 from repro.chase.result import ChaseResult
@@ -36,6 +37,11 @@ class PipelineResult:
     """Physical target instance (auxiliary requirement relations stripped)."""
 
     verification: Optional[VerificationReport] = None
+
+    analysis: Optional[MappingAnalysis] = None
+    """Static analyzer verdicts for the rewritten dependency set:
+    termination class, firing strata, dead dependencies and the coded
+    diagnostics ``grom lint`` renders."""
 
     trace: Optional[dict] = None
     """Flight-recorder payload covering the whole pipeline run, present
@@ -140,6 +146,19 @@ def run_rewritten(
                 scenario, source_instance, recorder=rec if rec.enabled else None
             )
 
+    # Static analysis of the rewritten set: the termination verdict
+    # decides whether the chase may drop its guards, and the verdict,
+    # strata and diagnostics ride along on the result and the trace.
+    with rec.span("analyze"):
+        analysis = analyze_dependencies(
+            rewritten.dependencies,
+            rewritten.source_relations(),
+            rewritten.target_relations(),
+        )
+        if rec.enabled:
+            for counter, value in sorted(analysis.counters().items()):
+                rec.count(counter, value)
+
     with rec.span("chase", deds=rewritten.has_deds):
         if rewritten.has_deds:
             engine = GreedyDedChase(
@@ -147,11 +166,15 @@ def run_rewritten(
                 rewritten.source_relations(),
                 config,
                 max_scenarios=max_scenarios,
+                termination=analysis.termination,
             )
             chase_result = engine.run(chase_input, recorder=rec)
         else:
             standard = StandardChase(
-                rewritten.dependencies, rewritten.source_relations(), config
+                rewritten.dependencies,
+                rewritten.source_relations(),
+                config,
+                termination=analysis.termination,
             )
             chase_result = standard.run(chase_input, recorder=rec)
 
@@ -177,5 +200,6 @@ def run_rewritten(
         chase=chase_result,
         target=target,
         verification=verification,
+        analysis=analysis,
         trace=rec.to_payload() if owned else None,
     )

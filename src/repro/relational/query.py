@@ -372,9 +372,7 @@ class CompiledQuery:
                 get(t) if isinstance(t, Variable) else t for t in step.key_terms
             )
             return key in instance.index(step.relation, step.positions)
-        for _ in self.bindings(instance, seed):
-            return True
-        return False
+        return any(True for _ in self.bindings(instance, seed))
 
 
 _COMPILE_CACHE: Dict[Tuple[Conjunction, frozenset, Optional[int]], CompiledQuery] = {}

@@ -110,6 +110,22 @@ def batch_summary_table(report: "BatchReport") -> Table:
     table.add("timeouts", summary.timeouts)
     table.add("errors", summary.errors)
     table.add("verified sound", summary.verified)
+    table.add("proven terminating", summary.proven_terminating)
+    table.add("guards dropped", summary.guards_dropped)
+    if summary.by_termination:
+        classes = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(summary.by_termination.items())
+        )
+        table.add("termination classes", classes)
+    if summary.dead_dependencies:
+        table.add("dead dependencies", summary.dead_dependencies)
+    if summary.analysis_errors or summary.analysis_warnings:
+        table.add(
+            "lint diagnostics",
+            f"{summary.analysis_errors} errors,"
+            f" {summary.analysis_warnings} warnings",
+        )
     table.add("cache hits", f"{summary.cache_hits}/{summary.cache_lookups}")
     table.add("cache hit rate", summary.cache_hit_rate)
     table.add("rewrite seconds", summary.rewrite_seconds)

@@ -247,6 +247,22 @@ def _execute(
             record.scenarios_tried = outcome.chase.scenarios_tried
             record.nulls_created = outcome.chase.stats.nulls_created
             record.branch_timings = outcome.chase.branch_timings
+            record.guards = outcome.chase.guards
+            if outcome.analysis is not None:
+                analysis = outcome.analysis
+                record.termination_class = str(
+                    analysis.termination.classification
+                )
+                record.proven_terminating = analysis.termination.proven
+                record.dead_dependencies = len(
+                    analysis.firing.dead_dependencies
+                )
+                record.strata = len(analysis.firing.strata)
+                counters = analysis.counters()
+                record.analysis_errors = counters["analysis.diagnostics.error"]
+                record.analysis_warnings = counters[
+                    "analysis.diagnostics.warning"
+                ]
     except _TaskTimeout:
         record.status = STATUS_TIMEOUT
         record.error = f"timed out after {options.timeout:g}s"

@@ -76,6 +76,21 @@ class TaskRecord:
     scenarios_tried: int = 0
     nulls_created: int = 0
 
+    termination_class: str = ""
+    """Static termination verdict for the rewritten set (``full`` /
+    ``weakly_acyclic`` / ``jointly_acyclic`` / ``super_weakly_acyclic``
+    / ``unproven``)."""
+    proven_terminating: bool = False
+    guards: str = ""
+    """``dropped`` when the chase ran without budgets on the strength of
+    the proof, ``enforced`` otherwise."""
+    dead_dependencies: int = 0
+    """Dependencies the analyzer proved could never fire statically."""
+    strata: int = 0
+    """Strata in the analyzer's condensed fire schedule."""
+    analysis_errors: int = 0
+    analysis_warnings: int = 0
+
     trace: Optional[Dict[str, object]] = None
     """Flight-recorder payload (spans + metrics snapshot) when the batch
     ran with tracing enabled; ``None`` otherwise.  Serializes into the
@@ -138,7 +153,18 @@ class BatchSummary:
     """Intra-chase sharding mode the run's tasks used."""
     branch_parallelism: str = "serial"
     """Branch-race fan-out the run's disjunctive searches used."""
+    proven_terminating: int = 0
+    """Tasks whose scenario the static analyzer proved terminating."""
+    guards_dropped: int = 0
+    """Tasks that chased without budgets on the strength of the proof."""
+    dead_dependencies: int = 0
+    """Statically dead dependencies summed over the run's tasks."""
+    analysis_errors: int = 0
+    analysis_warnings: int = 0
     by_family: Dict[str, int] = field(default_factory=dict)
+    by_termination: Dict[str, int] = field(default_factory=dict)
+    """Task counts per termination class (``full``, ``weakly_acyclic``,
+    ...)."""
     phase_latencies: Dict[str, Dict[str, float]] = field(default_factory=dict)
     """Per-phase (build/rewrite/chase/total) latency digests over the
     run's task records: ``{"p50": ..., "p99": ..., "sum": ...}``."""
@@ -201,6 +227,17 @@ def summarize(
         summary.cache_lookups += 1
         if record.cache_hit:
             summary.cache_hits += 1
+        if record.termination_class:
+            summary.by_termination[record.termination_class] = (
+                summary.by_termination.get(record.termination_class, 0) + 1
+            )
+        if record.proven_terminating:
+            summary.proven_terminating += 1
+        if record.guards == "dropped":
+            summary.guards_dropped += 1
+        summary.dead_dependencies += record.dead_dependencies
+        summary.analysis_errors += record.analysis_errors
+        summary.analysis_warnings += record.analysis_warnings
         summary.rewrite_seconds += record.rewrite_seconds
         summary.chase_seconds += record.chase_seconds
         summary.task_seconds += record.total_seconds

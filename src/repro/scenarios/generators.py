@@ -522,5 +522,7 @@ def build_family(family: str, **params) -> GeneratedScenario:
         builder = FAMILIES[family]
     except KeyError:
         known = ", ".join(sorted(FAMILIES))
-        raise KeyError(f"unknown scenario family {family!r} (known: {known})")
+        raise KeyError(
+            f"unknown scenario family {family!r} (known: {known})"
+        ) from None
     return builder(**params)

@@ -240,6 +240,61 @@ def _transitive_closure() -> ChaseSetup:
     return ChaseSetup(deps, ("E",), instance)
 
 
+def _joint_acyclic_feed() -> ChaseSetup:
+    # Terminating, but only provably so by *joint* acyclicity: the
+    # position graph has a cycle through the special edge P.0 ⇒ Q.1
+    # (P.0 → Q.1 ⇒ S.0 → P.0), yet the invented nulls in Q.1 can never
+    # flow back into `invent`'s premise because `close` joins S against
+    # the constants-only T.  Weak acyclicity cannot see that.
+    deps = (
+        tgd(
+            Conjunction(atoms=(Atom("P", (x,)),)),
+            (Atom("Q", (x, y)),),  # y existential
+            name="invent",
+        ),
+        tgd(
+            Conjunction(atoms=(Atom("Q", (x, y)),)),
+            (Atom("S", (y,)),),
+            name="project",
+        ),
+        tgd(
+            Conjunction(atoms=(Atom("S", (x,)), Atom("T", (x,)))),
+            (Atom("P", (x,)),),
+            name="close",
+        ),
+    )
+    instance = Instance()
+    for i in range(30):
+        instance.add(Atom("P", (Constant(i),)))
+        instance.add(Atom("T", (Constant(1000 + i),)))
+    return ChaseSetup(deps, ("P", "T"), instance)
+
+
+def _super_weak_constant_guard() -> ChaseSetup:
+    # Terminating, but only provably so by *super-weak* acyclicity: the
+    # per-variable Mov sets of joint acyclicity collapse B's positions,
+    # while Marnette's place-level unification sees that the 'done'
+    # stamp written by `stamp` can never unify with the 'todo' guard in
+    # `requeue`'s body.
+    deps = (
+        tgd(
+            Conjunction(atoms=(Atom("A", (x,)),)),
+            (Atom("B", (z, x, Constant("done"))),),  # z existential
+            name="stamp",
+        ),
+        tgd(
+            Conjunction(atoms=(Atom("B", (x, y, Constant("todo"))),)),
+            (Atom("A", (x,)),),
+            name="requeue",
+        ),
+    )
+    instance = Instance()
+    for i in range(25):
+        instance.add(Atom("A", (Constant(i),)))
+    instance.add(Atom("B", (Constant(500), Constant(501), Constant("todo"))))
+    return ChaseSetup(deps, ("A", "B"), instance)
+
+
 def _bloom_spill() -> ChaseSetup:
     deps = (
         tgd(
@@ -382,6 +437,14 @@ CHASE_CASES: Tuple[ChaseCase, ...] = (
     ChaseCase(
         "transitive-closure", frozenset({RECURSIVE}), _transitive_closure,
         _expect_multi_round,
+    ),
+    ChaseCase(
+        "joint-acyclic-feed", frozenset(), _joint_acyclic_feed,
+        _expect_null_unification,
+    ),
+    ChaseCase(
+        "super-weak-constant-guard", frozenset(), _super_weak_constant_guard,
+        _expect_null_unification,
     ),
     ChaseCase("bloom-spill", frozenset({BLOOM_SPILL}), _bloom_spill, _expect_ok),
     ChaseCase(

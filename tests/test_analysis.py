@@ -1,0 +1,473 @@
+"""The static mapping analyzer: termination ladder, firing graph,
+guard dropping, and its integration across the corpus.
+
+The differential tier of this suite enforces the analyzer's two load-
+bearing promises: (1) a proven-terminating scenario chased with its
+guards dropped (no step budget, no Bloom-spilled trigger memory) is
+bit-identical to the guarded run, and (2) no statically-proven-
+terminating scenario ever ends in nontermination.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import (
+    TerminationClass,
+    analyze_dependencies,
+    analyze_firing,
+    classify_termination,
+    contradiction_reason,
+    dead_dependency_indices,
+    fire_schedule,
+    populatable_relations,
+)
+from repro.analysis.analyzer import _AUX_PREFIX
+from repro.chase.ded import GreedyDedChase
+from repro.chase.engine import ChaseConfig, StandardChase
+from repro.core.rewriter import AUX_PREFIX, rewrite
+from repro.logic.atoms import Atom, Comparison, Conjunction, Equality
+from repro.logic.dependencies import Disjunct, ded, egd, tgd
+from repro.logic.terms import Constant, Variable
+from repro.pipeline import run_scenario
+
+from corpus import CHASE_CASES, pipeline_specs
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def test_aux_prefix_mirrors_rewriter():
+    # analysis/ depends only on repro.logic; the aux-relation prefix is
+    # mirrored as a literal and must never drift from the rewriter's.
+    assert _AUX_PREFIX == AUX_PREFIX
+
+
+# ---------------------------------------------------------------------------
+# The termination ladder
+# ---------------------------------------------------------------------------
+
+
+class TestTerminationLadder:
+    def test_full_sets_are_trivially_terminating(self):
+        deps = [
+            tgd(Conjunction(atoms=(Atom("S", (x, y)),)), (Atom("T", (x, y)),))
+        ]
+        report = classify_termination(deps)
+        assert report.classification is TerminationClass.FULL
+        assert report.proven
+        assert report.proven_for("oblivious")
+        assert report.proven_for("restricted")
+
+    def test_weak_acyclicity(self):
+        deps = [
+            tgd(Conjunction(atoms=(Atom("S", (x,)),)), (Atom("T", (x, y)),))
+        ]
+        report = classify_termination(deps)
+        assert report.classification is TerminationClass.WEAKLY_ACYCLIC
+        assert report.weakly_acyclic is True
+
+    def test_jointly_acyclic_but_not_weakly(self):
+        deps = [
+            tgd(Conjunction(atoms=(Atom("P", (x,)),)), (Atom("Q", (x, y)),)),
+            tgd(Conjunction(atoms=(Atom("Q", (x, y)),)), (Atom("S", (y,)),)),
+            tgd(
+                Conjunction(atoms=(Atom("S", (x,)), Atom("T", (x,)))),
+                (Atom("P", (x,)),),
+            ),
+        ]
+        report = classify_termination(deps)
+        assert report.classification is TerminationClass.JOINTLY_ACYCLIC
+        assert report.weakly_acyclic is False
+        assert report.jointly_acyclic is True
+        assert report.proven
+        assert report.proven_for("restricted")
+
+    def test_super_weakly_acyclic_but_not_jointly(self):
+        deps = [
+            tgd(
+                Conjunction(atoms=(Atom("S", (x,)),)),
+                (Atom("T", (z, x, Constant("done"))),),
+            ),
+            tgd(
+                Conjunction(atoms=(Atom("T", (x, y, Constant("todo"))),)),
+                (Atom("S", (x,)),),
+            ),
+        ]
+        report = classify_termination(deps)
+        assert report.classification is TerminationClass.SUPER_WEAKLY_ACYCLIC
+        assert report.weakly_acyclic is False
+        assert report.jointly_acyclic is False
+        assert report.super_weakly_acyclic is True
+
+    def test_unprovable_stays_unproven(self):
+        deps = [
+            tgd(Conjunction(atoms=(Atom("R", (x, y)),)), (Atom("R", (y, z)),))
+        ]
+        report = classify_termination(deps)
+        assert report.classification is TerminationClass.UNPROVEN
+        assert not report.proven
+        assert not report.proven_for("restricted")
+
+    def test_weak_acyclicity_does_not_license_oblivious(self):
+        # R(x,y) -> ∃z R(x,z) is weakly acyclic (the restricted chase
+        # stops immediately) but the oblivious chase re-fires on every
+        # invented fact forever.  Rich acyclicity is what the oblivious
+        # policy needs, and this set is not richly acyclic.
+        deps = [
+            tgd(Conjunction(atoms=(Atom("R", (x, y)),)), (Atom("R", (x, z)),))
+        ]
+        report = classify_termination(deps)
+        assert report.classification is TerminationClass.WEAKLY_ACYCLIC
+        assert report.richly_acyclic is False
+        assert report.proven_for("restricted")
+        assert not report.proven_for("oblivious")
+
+    def test_richly_acyclic_licenses_oblivious(self):
+        deps = [
+            tgd(Conjunction(atoms=(Atom("S", (x,)),)), (Atom("T", (x, y)),))
+        ]
+        report = classify_termination(deps)
+        assert report.richly_acyclic is True
+        assert report.proven_for("oblivious")
+
+    def test_equalities_cap_the_ladder_at_weak_acyclicity(self):
+        # JA/SWA are existential-rule criteria; with an egd in the set
+        # the classifier must not climb past weak acyclicity.
+        deps = [
+            tgd(Conjunction(atoms=(Atom("P", (x,)),)), (Atom("Q", (x, y)),)),
+            tgd(Conjunction(atoms=(Atom("Q", (x, y)),)), (Atom("S", (y,)),)),
+            tgd(
+                Conjunction(atoms=(Atom("S", (x,)), Atom("T", (x,)))),
+                (Atom("P", (x,)),),
+            ),
+            egd(
+                Conjunction(atoms=(Atom("Q", (x, y)), Atom("Q", (x, z)))),
+                (Equality(y, z),),
+            ),
+        ]
+        report = classify_termination(deps)
+        assert report.has_equalities
+        assert report.classification is TerminationClass.UNPROVEN
+
+    def test_ded_branches_union_into_the_proof(self):
+        deps = [
+            ded(
+                Conjunction(atoms=(Atom("S", (x,)),)),
+                (
+                    Disjunct(atoms=(Atom("T", (x, y)),)),
+                    Disjunct(atoms=(Atom("U", (x,)),)),
+                ),
+            )
+        ]
+        report = classify_termination(deps)
+        assert report.has_deds
+        assert report.proven
+
+    def test_payload_roundtrips_the_verdict(self):
+        deps = [
+            tgd(Conjunction(atoms=(Atom("S", (x,)),)), (Atom("T", (x, y)),))
+        ]
+        payload = classify_termination(deps).to_payload()
+        assert payload["classification"] == "weakly_acyclic"
+        assert payload["proven"] is True
+
+
+# ---------------------------------------------------------------------------
+# Firing analysis and premise satisfiability
+# ---------------------------------------------------------------------------
+
+
+class TestFiringAnalysis:
+    def test_populatable_fixpoint_and_dead_dependencies(self):
+        deps = [
+            tgd(Conjunction(atoms=(Atom("S", (x,)),)), (Atom("T", (x,)),)),
+            tgd(Conjunction(atoms=(Atom("Ghost", (x,)),)), (Atom("U", (x,)),)),
+        ]
+        populatable = populatable_relations(deps, ["S"])
+        assert populatable == frozenset({"S", "T"})
+        assert dead_dependency_indices(deps, ["S"]) == (1,)
+
+    def test_dead_dependency_conclusions_do_not_populate(self):
+        # U is only produced by the dead dependency, so anything fed by
+        # U is transitively dead too.
+        deps = [
+            tgd(Conjunction(atoms=(Atom("Ghost", (x,)),)), (Atom("U", (x,)),)),
+            tgd(Conjunction(atoms=(Atom("U", (x,)),)), (Atom("V", (x,)),)),
+        ]
+        assert dead_dependency_indices(deps, ["S"]) == (0, 1)
+
+    def test_contradictory_comparisons_make_a_dependency_dead(self):
+        deps = [
+            tgd(
+                Conjunction(
+                    atoms=(Atom("S", (x,)),),
+                    comparisons=(
+                        Comparison("<", x, Constant(2)),
+                        Comparison(">", x, Constant(4)),
+                    ),
+                ),
+                (Atom("T", (x,)),),
+            )
+        ]
+        assert dead_dependency_indices(deps, ["S"]) == (0,)
+        assert populatable_relations(deps, ["S"]) == frozenset({"S"})
+
+    def test_fire_schedule_orders_the_chain(self):
+        deps = [
+            tgd(Conjunction(atoms=(Atom("B", (x,)),)), (Atom("C", (x,)),)),
+            tgd(Conjunction(atoms=(Atom("A", (x,)),)), (Atom("B", (x,)),)),
+        ]
+        assert fire_schedule(deps) == ((1,), (0,))
+
+    def test_mutual_recursion_shares_a_stratum(self):
+        deps = [
+            tgd(Conjunction(atoms=(Atom("A", (x,)),)), (Atom("B", (x,)),)),
+            tgd(Conjunction(atoms=(Atom("B", (x,)),)), (Atom("A", (x,)),)),
+        ]
+        assert fire_schedule(deps) == ((0, 1),)
+
+    def test_firing_report_payload(self):
+        deps = [
+            tgd(Conjunction(atoms=(Atom("S", (x,)),)), (Atom("T", (x,)),))
+        ]
+        payload = analyze_firing(deps, ["S"]).to_payload()
+        assert payload["populatable"] == ["S", "T"]
+        assert payload["dead_dependencies"] == []
+        assert payload["strata"] == [[0]]
+
+
+class TestContradictionReason:
+    def _premise(self, *comparisons):
+        return Conjunction(atoms=(Atom("S", (x, y)),), comparisons=comparisons)
+
+    def test_satisfiable_interval_is_fine(self):
+        premise = self._premise(
+            Comparison(">=", x, Constant(2)), Comparison("<", x, Constant(4))
+        )
+        assert contradiction_reason(premise) is None
+
+    def test_empty_interval(self):
+        premise = self._premise(
+            Comparison("<", x, Constant(2)), Comparison(">", x, Constant(4))
+        )
+        assert contradiction_reason(premise) is not None
+
+    def test_boundary_strictness(self):
+        open_at_two = self._premise(
+            Comparison("<", x, Constant(2)), Comparison(">=", x, Constant(2))
+        )
+        assert contradiction_reason(open_at_two) is not None
+        closed_at_two = self._premise(
+            Comparison("<=", x, Constant(2)), Comparison(">=", x, Constant(2))
+        )
+        assert contradiction_reason(closed_at_two) is None
+
+    def test_pinned_value_vs_exclusion(self):
+        premise = self._premise(
+            Comparison("=", x, Constant(3)), Comparison("!=", x, Constant(3))
+        )
+        assert contradiction_reason(premise) is not None
+
+    def test_typed_equality_keeps_cross_type_values_apart(self):
+        # x = 1.0 and x != 1 is satisfiable: typed constants of
+        # different Python types never compare equal.
+        premise = self._premise(
+            Comparison("=", x, Constant(1.0)), Comparison("!=", x, Constant(1))
+        )
+        assert contradiction_reason(premise) is None
+
+    def test_reflexive_impossibility(self):
+        premise = self._premise(Comparison("<", x, x))
+        assert contradiction_reason(premise) is not None
+
+    def test_opposed_variable_pair(self):
+        premise = self._premise(
+            Comparison("<", x, y), Comparison("<", y, x)
+        )
+        assert contradiction_reason(premise) is not None
+
+    def test_consistent_variable_pair(self):
+        premise = self._premise(
+            Comparison("<", x, y), Comparison("<=", x, y)
+        )
+        assert contradiction_reason(premise) is None
+
+    def test_ground_false_comparison(self):
+        premise = self._premise(Comparison("<", Constant(5), Constant(2)))
+        assert contradiction_reason(premise) is not None
+
+
+# ---------------------------------------------------------------------------
+# Corpus-wide verdicts
+# ---------------------------------------------------------------------------
+
+
+class TestCorpusTermination:
+    @pytest.mark.parametrize(
+        "spec", pipeline_specs(), ids=lambda s: s.label
+    )
+    def test_every_pipeline_spec_classifies(self, spec):
+        built = spec.build()
+        rewritten = rewrite(built.scenario)
+        report = classify_termination(rewritten.dependencies)
+        assert isinstance(report.classification, TerminationClass)
+        payload = report.to_payload()
+        assert payload["classification"] == str(report.classification)
+
+    @pytest.mark.parametrize(
+        "case", CHASE_CASES, ids=lambda c: c.label
+    )
+    def test_every_chase_case_classifies(self, case):
+        setup = case.build()
+        report = classify_termination(setup.dependencies)
+        assert isinstance(report.classification, TerminationClass)
+
+    def test_corpus_exercises_proofs_beyond_weak_acyclicity(self):
+        # The acceptance bar: at least one corpus scenario is proven
+        # terminating by JA or SWA where weak acyclicity fails.
+        beyond = []
+        for case in CHASE_CASES:
+            report = classify_termination(case.build().dependencies)
+            if report.proven and report.weakly_acyclic is False:
+                assert report.classification in (
+                    TerminationClass.JOINTLY_ACYCLIC,
+                    TerminationClass.SUPER_WEAKLY_ACYCLIC,
+                )
+                beyond.append(case.label)
+        assert "joint-acyclic-feed" in beyond
+        assert "super-weak-constant-guard" in beyond
+
+
+# ---------------------------------------------------------------------------
+# Guard dropping: bit-identical, and never a budget hit
+# ---------------------------------------------------------------------------
+
+
+def _standard_cases():
+    out = []
+    for case in CHASE_CASES:
+        setup = case.build()
+        if not any(d.is_ded() for d in setup.dependencies):
+            out.append((case, setup))
+    return out
+
+
+class TestGuardDropDifferential:
+    @pytest.mark.parametrize(
+        "case,setup",
+        _standard_cases(),
+        ids=lambda value: value.label if hasattr(value, "label") else "",
+    )
+    def test_unguarded_run_is_bit_identical(self, case, setup):
+        report = classify_termination(setup.dependencies)
+        base_config = setup.config or ChaseConfig()
+
+        guarded = StandardChase(
+            list(setup.dependencies),
+            list(setup.source_relations),
+            replace(base_config, guards="on"),
+            termination=report,
+        ).run(setup.instance)
+        auto = StandardChase(
+            list(setup.dependencies),
+            list(setup.source_relations),
+            base_config,
+            termination=report,
+        ).run(setup.instance)
+
+        case.check_baseline(guarded)
+        assert guarded.guards == "enforced"
+        if report.proven_for(base_config.policy):
+            assert auto.guards == "dropped"
+        assert auto.status == guarded.status
+        assert auto.target == guarded.target
+        assert auto.failure_reason == guarded.failure_reason
+        assert auto.stats.nulls_created == guarded.stats.nulls_created
+        assert auto.stats.rounds == guarded.stats.rounds
+
+    def test_proven_ded_sweep_drops_guards_per_branch(self):
+        for case in CHASE_CASES:
+            setup = case.build()
+            if not any(d.is_ded() for d in setup.dependencies):
+                continue
+            report = classify_termination(setup.dependencies)
+            guarded = GreedyDedChase(
+                list(setup.dependencies),
+                list(setup.source_relations),
+                replace(setup.config or ChaseConfig(), guards="on"),
+                termination=report,
+            ).run(setup.instance)
+            auto = GreedyDedChase(
+                list(setup.dependencies),
+                list(setup.source_relations),
+                setup.config,
+                termination=report,
+            ).run(setup.instance)
+            assert auto.status == guarded.status, case.label
+            assert auto.target == guarded.target, case.label
+            assert auto.failure_reason == guarded.failure_reason, case.label
+
+    def test_no_proven_scenario_ever_hits_the_budget(self):
+        # One spec per family end to end: if the analyzer proved
+        # termination, the chase must not end in nontermination — and
+        # under the default auto guards it must have dropped them.
+        seen_families = set()
+        for spec in pipeline_specs():
+            if spec.family in seen_families:
+                continue
+            seen_families.add(spec.family)
+            built = spec.build()
+            outcome = run_scenario(built.scenario, built.instance, verify=False)
+            assert outcome.analysis is not None, spec.label
+            if outcome.analysis.termination.proven:
+                assert outcome.chase.status.value != "nontermination", spec.label
+                assert outcome.chase.guards == "dropped", spec.label
+
+    def test_guard_drop_survives_a_hostile_budget(self):
+        # A proven-terminating recursive case with a one-round budget:
+        # auto guards ignore the budget and still converge.
+        for case in CHASE_CASES:
+            if case.label != "transitive-closure":
+                continue
+            setup = case.build()
+            report = classify_termination(setup.dependencies)
+            throttled = StandardChase(
+                list(setup.dependencies),
+                list(setup.source_relations),
+                ChaseConfig(max_rounds=1),
+                termination=report,
+            ).run(setup.instance)
+            assert throttled.guards == "dropped"
+            assert throttled.ok
+            assert throttled.stats.rounds > 1
+
+
+class TestAnalyzerDiagnosticsIntegration:
+    def test_rewritten_scenario_gets_analysis_counters(self):
+        spec = pipeline_specs()[0]
+        built = spec.build()
+        rewritten = rewrite(built.scenario)
+        analysis = analyze_dependencies(
+            rewritten.dependencies,
+            rewritten.source_relations(),
+            rewritten.target_relations(),
+        )
+        counters = analysis.counters()
+        assert counters["analysis.strata"] >= 1
+        assert set(counters) == {
+            "analysis.proven_terminating",
+            "analysis.dead_dependencies",
+            "analysis.strata",
+            "analysis.diagnostics.error",
+            "analysis.diagnostics.warning",
+            "analysis.diagnostics.info",
+        }
+
+    def test_pipeline_result_carries_the_analysis(self):
+        spec = pipeline_specs()[0]
+        built = spec.build()
+        outcome = run_scenario(built.scenario, built.instance, verify=False)
+        assert outcome.analysis is not None
+        assert outcome.analysis.termination.proven in (True, False)
+        payload = outcome.analysis.to_payload()
+        assert {"termination", "firing", "diagnostics", "ok"} <= set(payload)

@@ -58,11 +58,28 @@ class TestChaseConfigSurface:
         outcome = run_scenario(
             build_scenario(include_key=False),
             generate_source_instance(products=5, seed=1),
-            config=ChaseConfig(max_rounds=1),
+            config=ChaseConfig(max_rounds=1, guards="on"),
             verify=False,
         )
         # One round cannot finish the cascading companions.
         assert not outcome.ok
+
+    def test_termination_proof_outranks_budget(self):
+        from repro.scenarios import build_scenario, generate_source_instance
+
+        # Default guards="auto": the analyzer proves this scenario
+        # terminating, so the one-round budget is dropped and the same
+        # run succeeds.
+        outcome = run_scenario(
+            build_scenario(include_key=False),
+            generate_source_instance(products=5, seed=1),
+            config=ChaseConfig(max_rounds=1),
+            verify=False,
+        )
+        assert outcome.analysis is not None
+        assert outcome.analysis.termination.proven
+        assert outcome.chase.guards == "dropped"
+        assert outcome.ok
 
     def test_greedy_respects_config(self):
         from repro.core.rewriter import rewrite
