@@ -45,8 +45,12 @@ import sys
 from typing import Dict, Iterator, List, Tuple
 
 # p50/p99 cover the flight recorder's per-phase latency digests
-# (BENCH_trace_phases.json and BatchSummary.phase_latencies leaves).
-LOWER_IS_BETTER = ("seconds", "per_probe", "elapsed", "wall", "p50", "p99")
+# (BENCH_trace_phases.json and BatchSummary.phase_latencies leaves);
+# ns_per_op covers the columnar kernel's per-operation micro-benches
+# (BENCH_e13_kernel.json intern/probe leaves).
+LOWER_IS_BETTER = (
+    "seconds", "per_probe", "elapsed", "wall", "p50", "p99", "ns_per_op"
+)
 HIGHER_IS_BETTER = (
     "speedup", "throughput", "per_sec", "per_second", "coverage"
 )

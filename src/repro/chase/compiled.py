@@ -33,14 +33,15 @@ scenarios of a selection sweep.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ChaseError, TypingError
 from repro.logic.atoms import Atom, Conjunction
 from repro.logic.dependencies import Dependency
 from repro.logic.terms import Term, Variable
-from repro.relational.delta import DeltaPlans, PlanCache
+from repro.relational.delta import DeltaPlans, PlanCache, RowDelta
 from repro.relational.instance import Instance
+from repro.relational.kernel import ColumnarInstance, TermPool
 from repro.relational.query import Binding
 
 __all__ = ["CompiledDependency", "compile_dependencies"]
@@ -70,6 +71,91 @@ def _ground_check(comparison, binding: Binding) -> bool:
         return False
 
 
+def _code_getter(term: Term, slot_of: Dict[Variable, int], pool: TermPool):
+    """A closure reading one disjunct term's code off a premise row.
+
+    Mirrors the strict :func:`_resolve`: a variable the premise does not
+    bind is a malformed dependency and must fail loudly *when fired*,
+    not at compile time (the engine may never reach the disjunct)."""
+    if isinstance(term, Variable):
+        slot = slot_of.get(term)
+        if slot is None:
+            def missing(_row, _term=term):
+                raise ChaseError(f"unbound variable {_term} during chase step")
+
+            return missing
+        return lambda row, _slot=slot: row[_slot]
+    code = pool.encode(term)
+    return lambda _row, _code=code: _code
+
+
+def _encoded_ground_check(comparison, slot_of: Dict[Variable, int], pool: TermPool):
+    left_get = _code_getter(comparison.left, slot_of, pool)
+    right_get = _code_getter(comparison.right, slot_of, pool)
+    decode = pool.decode
+
+    def check(row) -> bool:
+        ground = type(comparison)(
+            comparison.op, decode(left_get(row)), decode(right_get(row))
+        )
+        try:
+            return ground.evaluate()
+        except TypingError:
+            return False
+
+    return check
+
+
+class _DisjunctKernel:
+    """One conclusion disjunct lowered onto premise rows.
+
+    ``equalities`` are (left, right) code getters (codes compare like
+    terms: the pool interns by term equality); ``comparisons`` pair the
+    original comparison (failure messages) with a compiled check;
+    ``atom_templates`` are per-atom (relation, entries) where each entry
+    is (kind, value) with kind 0 = premise slot, 1 = existential index,
+    2 = interned code; ``existential_hints`` are the fresh-null hints in
+    the engine's invention order (first occurrence across the disjunct's
+    atoms, left to right — matching the decoded enforcement loop)."""
+
+    __slots__ = ("equalities", "comparisons", "atom_templates", "existential_hints")
+
+    def __init__(self, disjunct, slot_of: Dict[Variable, int], pool: TermPool) -> None:
+        self.equalities = tuple(
+            (
+                _code_getter(equality.left, slot_of, pool),
+                _code_getter(equality.right, slot_of, pool),
+            )
+            for equality in disjunct.equalities
+        )
+        self.comparisons = tuple(
+            (comparison, _encoded_ground_check(comparison, slot_of, pool))
+            for comparison in disjunct.comparisons
+        )
+        existential_index: Dict[Variable, int] = {}
+        hints: List[str] = []
+        templates: List[Tuple[str, Tuple[Tuple[int, int], ...]]] = []
+        for atom in disjunct.atoms:
+            entries: List[Tuple[int, int]] = []
+            for term in atom.terms:
+                if isinstance(term, Variable):
+                    slot = slot_of.get(term)
+                    if slot is not None:
+                        entries.append((0, slot))
+                    else:
+                        index = existential_index.get(term)
+                        if index is None:
+                            index = len(hints)
+                            existential_index[term] = index
+                            hints.append(term.name)
+                        entries.append((1, index))
+                else:
+                    entries.append((2, pool.encode(term)))
+            templates.append((atom.relation, tuple(entries)))
+        self.atom_templates = tuple(templates)
+        self.existential_hints = tuple(hints)
+
+
 class CompiledDependency:
     """One dependency's cached premise and satisfaction plans.
 
@@ -82,7 +168,15 @@ class CompiledDependency:
     changes growth alone would miss.
     """
 
-    __slots__ = ("dependency", "_premise", "_satisfaction", "_cache")
+    __slots__ = (
+        "dependency",
+        "_premise",
+        "_satisfaction",
+        "_cache",
+        "premise_varlist",
+        "_kernel_pool",
+        "_kernels",
+    )
 
     def __init__(self, dependency: Dependency) -> None:
         self.dependency = dependency
@@ -99,6 +193,16 @@ class CompiledDependency:
                 key=("satisfied", index),
             )
             for index, disjunct in enumerate(dependency.disjuncts)
+        ]
+        #: Layout of encoded premise rows: the premise's positive
+        #: variables in name order — by construction the same varlist
+        #: every encoded premise plan produces (bound is empty, fresh is
+        #: exactly this set), and the same order the engine's canonical
+        #: ``sorted(binding)`` iteration visits.
+        self.premise_varlist: Tuple[Variable, ...] = tuple(sorted(premise_vars))
+        self._kernel_pool: Optional[TermPool] = None
+        self._kernels: List[Optional[_DisjunctKernel]] = [
+            None for _ in dependency.disjuncts
         ]
 
     # -- premise -----------------------------------------------------------
@@ -127,10 +231,49 @@ class CompiledDependency:
             if atom.relation in delta_relations
         ]
 
+    def premise_matches_encoded(
+        self, working, delta_rows: Optional[RowDelta]
+    ) -> List[Tuple[int, ...]]:
+        """Encoded premise bindings as code rows aligned to
+        :attr:`premise_varlist`, optionally delta-restricted."""
+        if delta_rows is None:
+            return self._premise.matches_encoded(working)
+        return self._premise.delta_matches_encoded(working, delta_rows)
+
+    def anchor_matches_encoded(
+        self, working, anchor_index: int, restrict: Set[int]
+    ) -> List[Tuple[int, ...]]:
+        """Encoded twin of :meth:`anchor_matches` over row-id shards."""
+        return self._premise.anchor_matches_encoded(working, anchor_index, restrict)
+
     def warm_enumeration_plans(self, working: Instance) -> None:
         """Pre-compile anchored premise plans and their indexes (called
-        pre-fork so replica workers inherit both copy-on-write)."""
+        pre-fork so replica workers inherit both copy-on-write).
+
+        Over the columnar kernel this also lowers the satisfaction plans
+        and disjunct kernels, interning every literal the dependency
+        mentions — replica workers then never grow the term pool, so the
+        parent's pool snapshot stays authoritative for the whole run."""
         self._premise.warm(working)
+        if isinstance(working, ColumnarInstance):
+            for index, plans in enumerate(self._satisfaction):
+                plans.varlist(working)
+                self.disjunct_kernel(index, working.pool)
+
+    def disjunct_kernel(self, disjunct_index: int, pool: TermPool) -> _DisjunctKernel:
+        """The disjunct's enforcement kernel lowered onto ``pool``
+        (cached; templates and literal codes are data-independent)."""
+        if self._kernel_pool is not pool:
+            self._kernel_pool = pool
+            self._kernels = [None for _ in self.dependency.disjuncts]
+        kernel = self._kernels[disjunct_index]
+        if kernel is None:
+            slot_of = {v: i for i, v in enumerate(self.premise_varlist)}
+            kernel = _DisjunctKernel(
+                self.dependency.disjuncts[disjunct_index], slot_of, pool
+            )
+            self._kernels[disjunct_index] = kernel
+        return kernel
 
     def anchor_matches(
         self, working, anchor_index: int, restrict: Set[Atom]
@@ -174,6 +317,35 @@ class CompiledDependency:
         """Whether *any* conclusion disjunct holds under ``binding``."""
         return any(
             self.disjunct_satisfied(i, binding, working)
+            for i in range(len(self.dependency.disjuncts))
+        )
+
+    def disjunct_satisfied_encoded(
+        self, disjunct_index: int, row: Tuple[int, ...], working
+    ) -> bool:
+        """Encoded :meth:`disjunct_satisfied` over a premise code row.
+
+        Equality is code equality (the pool interns by term equality),
+        comparisons decode-and-delegate, and the atom probe is the same
+        hash anti-join over the incrementally-maintained *encoded*
+        index — facts enforced for one match stay visible to the next."""
+        kernel = self.disjunct_kernel(disjunct_index, working.pool)
+        for left_get, right_get in kernel.equalities:
+            if left_get(row) != right_get(row):
+                return False
+        for _comparison, check in kernel.comparisons:
+            if not check(row):
+                return False
+        if not kernel.atom_templates:
+            return True
+        return self._satisfaction[disjunct_index].exists_encoded(
+            working, self.premise_varlist, row
+        )
+
+    def satisfied_encoded(self, row: Tuple[int, ...], working) -> bool:
+        """Encoded :meth:`satisfied` over a premise code row."""
+        return any(
+            self.disjunct_satisfied_encoded(i, row, working)
             for i in range(len(self.dependency.disjuncts))
         )
 

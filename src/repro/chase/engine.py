@@ -57,7 +57,11 @@ from repro.obs.recorder import TraceConfig, resolve_recorder
 from repro.logic.atoms import Atom
 from repro.logic.dependencies import Dependency, Disjunct
 from repro.logic.terms import Null, NullFactory, Term, Variable
+from repro.relational import query as _query
+from repro.relational.delta import RowDelta, group_rows
 from repro.relational.instance import Instance
+from repro.relational.kernel import ColumnarInstance
+from repro.relational.types import term_order_key
 
 __all__ = ["ChaseConfig", "StandardChase", "chase"]
 
@@ -109,6 +113,16 @@ class ChaseConfig:
     bounded trigger memory, proof or not (the differential suite uses
     this to assert guarded and unguarded runs are bit-identical)."""
 
+    kernel: str = "columnar"
+    """Which instance kernel the working instance uses: ``columnar``
+    (default — interned terms over struct-of-arrays storage, encoded
+    join probes and match shipping) or ``reference`` (the set-based
+    :class:`~repro.relational.instance.Instance`).  Both produce
+    bit-identical results — the differential suite asserts it — so the
+    reference kernel exists for exactly that comparison (and as the
+    fallback while :func:`repro.relational.query.reference_evaluator`
+    mode is active, which bypasses compiled plans entirely)."""
+
 
 class _NullMap:
     """Union-find over labeled nulls, with constants as sinks."""
@@ -155,6 +169,64 @@ class _NullMap:
 
     def resolution(self) -> Dict[Null, Term]:
         return {null: self.find(null) for null in self._parent}
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+class _EncodedNullMap:
+    """Union-find over encoded terms (the columnar kernel's `_NullMap`).
+
+    Codes are ints: nulls negative (``-(id + 1)``), constants positive.
+    Orientation matches :class:`_NullMap` exactly — the *smaller null
+    id* wins a null/null union, and null ids decrease as codes decrease,
+    so the larger code is the smaller id's... inverse: code ``-(id+1)``
+    means smaller id ⇔ larger code.  Failure messages decode through the
+    working instance so they are byte-identical to the reference
+    kernel's.
+    """
+
+    __slots__ = ("_parent", "_decode")
+
+    def __init__(self, working: "ColumnarInstance") -> None:
+        self._parent: Dict[int, int] = {}
+        self._decode = working.decode_term
+
+    def find(self, code: int) -> int:
+        parent = self._parent
+        seen: List[int] = []
+        while code < 0 and code in parent:
+            seen.append(code)
+            code = parent[code]
+        for c in seen[:-1]:  # path compression
+            parent[c] = code
+        return code
+
+    def union(self, left: int, right: int, context: str) -> bool:
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root == right_root:
+            return False
+        left_null = left_root < 0
+        right_null = right_root < 0
+        if not left_null and not right_null:
+            raise ChaseFailure(
+                f"{context}: cannot equate distinct constants "
+                f"{self._decode(left_root)} and {self._decode(right_root)}"
+            )
+        if left_null and right_null:
+            # id(left) < id(right) ⇔ left_root > right_root.
+            if left_root > right_root:
+                self._parent[right_root] = left_root
+            else:
+                self._parent[left_root] = right_root
+        elif left_null:
+            self._parent[left_root] = right_root
+        else:
+            self._parent[right_root] = left_root
+        return True
+
+    def resolution(self) -> Dict[int, int]:
+        return {code: self.find(code) for code in self._parent}
 
     def __len__(self) -> int:
         return len(self._parent)
@@ -375,12 +447,33 @@ class StandardChase:
         rec = resolve_recorder(recorder, self.config.trace)
         owned_rec = recorder is None and rec.enabled
         plan_mark = self._plan_counters() if rec.enabled else (0, 0, 0)
-        working = Instance()
-        for fact in source_instance:
-            working.add(fact)
-        if target_instance is not None:
-            for fact in target_instance:
+        # Reference-evaluator mode bypasses compiled plans, which the
+        # encoded pipeline rides — fall back to the reference kernel.
+        if self.config.kernel == "columnar" and not _query.reference_mode_active():
+            working: Instance = ColumnarInstance()  # type: ignore[assignment]
+        else:
+            working = Instance()
+        kernel_mark = (
+            len(working.pool) if isinstance(working, ColumnarInstance) else 0
+        )
+        # Columnar-to-columnar seeding moves encoded rows (the pipeline
+        # hands over the semantic database's columnar store directly —
+        # no decode/re-encode of the whole input).
+        if isinstance(working, ColumnarInstance):
+            ingest = working.ingest
+            for instance in (source_instance, target_instance):
+                if instance is None:
+                    continue
+                if isinstance(instance, ColumnarInstance):
+                    ingest(instance)
+                else:
+                    working.add_all(instance)
+        else:
+            for fact in source_instance:
                 working.add(fact)
+            if target_instance is not None:
+                for fact in target_instance:
+                    working.add(fact)
         factory = null_factory or NullFactory()
         factory.advance_past(working.nulls())
         stats = ChaseStats()
@@ -414,7 +507,7 @@ class StandardChase:
                     sharder.close()
         stats.elapsed_seconds = time.perf_counter() - start
         if rec.enabled:
-            self._harvest_metrics(rec, stats, working, plan_mark)
+            self._harvest_metrics(rec, stats, working, plan_mark, kernel_mark)
         target = self._extract_target(working)
         return ChaseResult(
             status=status,
@@ -443,6 +536,7 @@ class StandardChase:
         stats: ChaseStats,
         working: Instance,
         plan_mark: Tuple[int, int, int],
+        kernel_mark: int = 0,
     ) -> None:
         """Fold this run's statistics into the recorder.
 
@@ -469,6 +563,12 @@ class StandardChase:
         rec.count("plan.recompiles", recompiles - plan_mark[1])
         rec.count("plan.served", served - plan_mark[2])
         rec.count("instance.index_builds", working.index_builds)
+        if isinstance(working, ColumnarInstance):
+            kernel_stats = working.kernel_stats
+            rec.count("kernel.interned_terms", len(working.pool) - kernel_mark)
+            rec.count("kernel.encoded_appends", kernel_stats.encoded_appends)
+            rec.count("kernel.probe_rows", kernel_stats.probe_rows)
+            rec.gauge("instance.intern_size", len(working.pool))
 
     # -- internals ----------------------------------------------------------------
 
@@ -497,10 +597,19 @@ class StandardChase:
         # working instance, so the dead set is exact per run (a premise
         # over a never-populatable relation can never match, under any
         # ded branch choice).
-        base = {fact.relation for fact in working}
+        base = set(working.relations())
         dead = frozenset(dead_dependency_indices(self.dependencies, base))
         stats.dependencies_pruned = len(dead)
-        delta: Optional[Set[Atom]] = None  # None = evaluate everything
+        # The delta has two shapes, one per kernel: a set of atoms for
+        # the reference kernel, a relation -> row-id-set dict for the
+        # columnar kernel (no Atom objects on the hot path).  ``None``
+        # means "evaluate everything" in both.
+        encoded = isinstance(working, ColumnarInstance)
+        apply_dependency = (
+            self._apply_dependency_encoded if encoded else self._apply_dependency
+        )
+        delta: Optional[Set[Atom]] = None
+        delta_rows: Optional[RowDelta] = None
         since: Optional[int] = None  # generation the delta was taken from
         while True:
             stats.rounds += 1
@@ -510,13 +619,21 @@ class StandardChase:
                 )
             generation = working.bump_generation()
             sharder.record_generation()
-            sharder.begin_round(delta, since)
-            delta_relations = (
-                {fact.relation for fact in delta} if delta is not None else None
-            )
+            if encoded:
+                sharder.begin_round(delta_rows, since)
+                delta_relations = (
+                    set(delta_rows) if delta_rows is not None else None
+                )
+            else:
+                sharder.begin_round(delta, since)
+                delta_relations = (
+                    {fact.relation for fact in delta}
+                    if delta is not None
+                    else None
+                )
             rewrites_this_round = 0
             with rec.span(
-                "chase.round", round=stats.rounds, full=delta is None
+                "chase.round", round=stats.rounds, full=since is None
             ) as round_span:
                 for index, dependency in enumerate(self.dependencies):
                     if index in dead:
@@ -534,13 +651,18 @@ class StandardChase:
                     ):
                         stats.enumerations_skipped += 1
                         continue
-                    rewrites_this_round += self._apply_dependency(
+                    rewrites_this_round += apply_dependency(
                         index, dependency, working, factory, stats, sharder,
                         fired_triggers, rec,
                     )
-                new_facts = set(working.facts_since(generation))
+                if encoded:
+                    new_rows = working.rows_since(generation)
+                    new_count = len(new_rows)
+                else:
+                    new_facts = set(working.facts_since(generation))
+                    new_count = len(new_facts)
                 if rec.enabled:
-                    round_span.annotate(new_facts=len(new_facts))
+                    round_span.annotate(new_facts=new_count)
             if (
                 not self._unguarded
                 and self.config.max_facts is not None
@@ -549,11 +671,14 @@ class StandardChase:
                 raise ChaseNonTermination(
                     f"exceeded {self.config.max_facts} facts"
                 )
-            if not new_facts and rewrites_this_round == 0:
+            if new_count == 0 and rewrites_this_round == 0:
                 return
             # Null rewrites change fact identity, so the delta bookkeeping
             # is unreliable: fall back to a full round.
-            delta = None if rewrites_this_round else new_facts
+            if encoded:
+                delta_rows = None if rewrites_this_round else group_rows(new_rows)
+            else:
+                delta = None if rewrites_this_round else new_facts
             since = None if rewrites_this_round else generation
 
     def _apply_dependency(
@@ -673,6 +798,147 @@ class StandardChase:
                     stats.facts_created += 1
             stats.tgd_fires += 1
 
+    # -- encoded pipeline (columnar kernel) --------------------------------
+
+    def _apply_dependency_encoded(
+        self,
+        index: int,
+        dependency: Dependency,
+        working: "ColumnarInstance",
+        factory: NullFactory,
+        stats: ChaseStats,
+        sharder: MatchSharder,
+        fired_triggers: "_TriggerMemory",
+        rec,
+    ) -> int:
+        """:meth:`_apply_dependency` over encoded premise rows.
+
+        Matches are code tuples aligned to the dependency's
+        ``premise_varlist`` (name-sorted, like the canonical binding
+        order), sorted by the pool's cached per-code order keys — the
+        same total order :func:`_binding_order` produces — so null
+        invention and unions are bit-identical to the reference kernel.
+        """
+        compiled = self.compiled[index]
+        with rec.span("chase.enumerate", dependency=index) as enum_span:
+            matches = sharder.enumerate_matches(index)
+            if rec.enabled:
+                enum_span.annotate(matches=len(matches))
+        if not matches:
+            return 0
+        stats.premise_matches += len(matches)
+        order_key = working.pool.order_key
+        row_order = lambda row: tuple(order_key(code) for code in row)
+        varlist = compiled.premise_varlist
+        decode = working.decode_term
+        if not dependency.disjuncts:  # denial
+            row = min(matches, key=row_order)
+            binding = {v: decode(code) for v, code in zip(varlist, row)}
+            raise ChaseFailure(
+                f"denial {dependency.describe()} fired at "
+                f"{_render_binding(binding)}",
+                culprit=dependency,
+            )
+        chosen_index = self.branch_choice.get(index, 0)
+        null_map = _EncodedNullMap(working)
+        find = null_map.find
+        parent = null_map._parent
+        oblivious = self.config.policy == "oblivious"
+        rewrites = 0
+        with rec.span("chase.enforce", dependency=index, matches=len(matches)):
+            ordered = sorted(matches, key=row_order)
+            track_events = sharder.wants_replica_events
+            if track_events:
+                mark = working.bump_generation()
+                sharder.record_generation()
+            for row in ordered:
+                resolved = (
+                    tuple(find(code) if code < 0 else code for code in row)
+                    if parent
+                    else row
+                )
+                if oblivious:
+                    # The trigger memory is shared with the reference
+                    # kernel's digests, so decode the resolved row (hint
+                    # differences don't matter: triggers hash nulls by
+                    # id, and tuples compare by term equality).
+                    trigger = (
+                        index,
+                        tuple(decode(code) for code in resolved),
+                    )
+                    if trigger in fired_triggers:
+                        continue
+                    fired_triggers.add(trigger)
+                elif compiled.satisfied_encoded(resolved, working):
+                    continue
+                self._enforce_disjunct_encoded(
+                    index, dependency, chosen_index, resolved, working,
+                    factory, stats, null_map,
+                )
+            if track_events:
+                sharder.record_new_facts(
+                    working.export_rows(working.rows_since(mark))
+                )
+            if len(null_map):
+                resolution = null_map.resolution()
+                rewrites = working.apply_null_map_encoded(resolution)
+                stats.null_rewrites += rewrites
+                sharder.record_null_map(resolution)
+        return rewrites
+
+    def _enforce_disjunct_encoded(
+        self,
+        index: int,
+        dependency: Dependency,
+        chosen_index: int,
+        row: Tuple[int, ...],
+        working: "ColumnarInstance",
+        factory: NullFactory,
+        stats: ChaseStats,
+        null_map: _EncodedNullMap,
+    ) -> None:
+        kernel = self.compiled[index].disjunct_kernel(chosen_index, working.pool)
+        # 1. Comparisons are checks: failing means this (only) branch is
+        #    impossible, i.e. the scenario fails here.
+        for comparison, check in kernel.comparisons:
+            if not check(row):
+                decode = working.decode_term
+                binding = {
+                    v: decode(code)
+                    for v, code in zip(
+                        self.compiled[index].premise_varlist, row
+                    )
+                }
+                raise ChaseFailure(
+                    f"{dependency.describe()}: required comparison "
+                    f"{comparison} fails at {_render_binding(binding)}",
+                    culprit=dependency,
+                )
+        # 2. Equalities unify.
+        for left_get, right_get in kernel.equalities:
+            if null_map.union(
+                left_get(row), right_get(row), dependency.describe()
+            ):
+                stats.egd_unifications += 1
+        # 3. Atoms instantiate with fresh nulls for existentials.
+        if kernel.atom_templates:
+            fresh: List[int] = []
+            for hint in kernel.existential_hints:
+                null = factory.fresh(hint=hint)
+                fresh.append(working.note_null(null))
+                stats.nulls_created += 1
+            add_encoded = working.add_encoded
+            for relation, template in kernel.atom_templates:
+                values = tuple(
+                    row[value]
+                    if kind == 0
+                    else (fresh[value] if kind == 1 else value)
+                    for kind, value in template
+                )
+                if add_encoded(relation, values):
+                    stats.facts_created += 1
+            stats.tgd_fires += 1
+
 
 def _term_order(term: Term) -> Tuple:
     """Canonical, shift-equivariant sort key for a ground term.
@@ -684,10 +950,12 @@ def _term_order(term: Term) -> Tuple:
     prefetched subtree — preserves the relative order of all terms, so
     enforcement order (and hence every invented null) is identical
     whether a node was chased speculatively or in place.
+
+    The single definition lives in :func:`repro.relational.types.term_order_key`
+    so the columnar kernel's per-code order cache provably sorts encoded
+    rows the same way.
     """
-    if isinstance(term, Null):
-        return (1, term.id, "")
-    return (0, 0, repr(term))
+    return term_order_key(term)
 
 
 def _binding_order(binding: Dict[Variable, Term]) -> Tuple:

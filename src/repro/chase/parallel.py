@@ -49,7 +49,9 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.errors import ChaseError
 from repro.logic.atoms import Atom
 from repro.obs.recorder import NULL_RECORDER
+from repro.relational.delta import group_rows
 from repro.relational.instance import Instance
+from repro.relational.kernel import ColumnarInstance
 from repro.relational.query import Binding
 
 __all__ = [
@@ -205,6 +207,24 @@ def _partition_by_hash(
     return chunks
 
 
+def _partition_row_ids(row_ids, workers: int) -> List[Set[int]]:
+    """Columnar twin of :func:`_partition_by_hash`: row ids shard by
+    ``rid % workers``, which every replica computes identically because
+    row ids are assigned by the deterministic event replay."""
+    chunks: List[Set[int]] = [set() for _ in range(workers)]
+    for row_id in row_ids:
+        chunks[row_id % workers].add(row_id)
+    return chunks
+
+
+def _delta_size(delta) -> int:
+    """Fact count of a round delta in either kernel's shape (a set of
+    atoms, or a relation -> row-id-set dict)."""
+    if isinstance(delta, dict):
+        return sum(len(rows) for rows in delta.values())
+    return len(delta)
+
+
 def _dedup_merge(shards: Sequence[List[Binding]]) -> List[Binding]:
     """Union shard results, deduplicating bindings across anchors.
 
@@ -220,6 +240,19 @@ def _dedup_merge(shards: Sequence[List[Binding]]) -> List[Binding]:
             if key not in seen:
                 seen.add(key)
                 out.append(binding)
+    return out
+
+
+def _dedup_merge_rows(shards) -> List[Tuple[int, ...]]:
+    """Encoded twin of :func:`_dedup_merge`: a code row *is* its own
+    binding key (varlist order), so tuple identity is binding identity."""
+    out: List[Tuple[int, ...]] = []
+    seen: Set[Tuple[int, ...]] = set()
+    for shard in shards:
+        for row in shard:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
     return out
 
 
@@ -260,9 +293,13 @@ class MatchSharder:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def begin_run(self, working: Instance, compiled: Sequence) -> None:
+    def begin_run(self, working, compiled: Sequence) -> None:
         self._working = working
         self._compiled = compiled
+        #: Which kernel the run speaks: over the columnar kernel the
+        #: engine hands row-id deltas and expects encoded code rows back
+        #: (and replica events carry encoded payloads).
+        self._encoded = isinstance(working, ColumnarInstance)
 
     def end_run(self) -> None:
         pass
@@ -272,14 +309,20 @@ class MatchSharder:
 
     # -- per round ---------------------------------------------------------
 
-    def begin_round(
-        self, delta: Optional[Set[Atom]], since: Optional[int]
-    ) -> None:
+    def begin_round(self, delta, since: Optional[int]) -> None:
+        """``delta`` carries the kernel's round shape: ``Set[Atom]``
+        (reference), :data:`~repro.relational.delta.RowDelta`
+        (columnar), or ``None`` for a full round in either."""
         self._delta = delta
         self._since = since
 
-    def enumerate_matches(self, index: int) -> List[Binding]:
-        """Phase 1 of a dependency's round: every premise match."""
+    def enumerate_matches(self, index: int):
+        """Phase 1 of a dependency's round: every premise match —
+        bindings over the reference kernel, code rows over columnar."""
+        if self._encoded:
+            return self._compiled[index].premise_matches_encoded(
+                self._working, self._delta
+            )
         return self._compiled[index].premise_matches(self._working, self._delta)
 
     # -- enforce-phase event hooks (replica maintenance) -------------------
@@ -324,7 +367,7 @@ class ThreadSharder(MatchSharder):
         self.workers = max(2, int(workers))
         self._pool: Optional[ThreadPoolExecutor] = None
 
-    def begin_run(self, working: Instance, compiled: Sequence) -> None:
+    def begin_run(self, working, compiled: Sequence) -> None:
         super().begin_run(working, compiled)
         self._view = working.probe_view()
         self._pool = ThreadPoolExecutor(
@@ -336,55 +379,81 @@ class ThreadSharder(MatchSharder):
             self._pool.shutdown(wait=True)
             self._pool = None
 
-    def enumerate_matches(self, index: int) -> List[Binding]:
+    def _shard_units(self, index: int):
+        """Plan the round's (anchor, chunk) units, or ``None`` to fall
+        back to serial enumeration.  Chunks are anchor-fact sets over
+        the reference kernel and anchor-row-id sets over columnar."""
         compiled = self._compiled[index]
         atoms = compiled.premise_atoms
-        if not atoms or self._pool is None:
-            return super().enumerate_matches(index)
-        units: List[Tuple[int, Set[Atom]]] = []
+        units: List[Tuple[int, Set]] = []
         if self._delta is None:
             anchor = self._full_anchor(index)
-            candidates = self._working.facts(atoms[anchor].relation)
+            relation = atoms[anchor].relation
+            if self._encoded:
+                candidates = self._working.live_row_ids(relation)
+                partition = _partition_row_ids
+            else:
+                candidates = self._working.facts(relation)
+                partition = _partition_by_hash
             if len(candidates) < MIN_SHARD_FACTS:
-                return super().enumerate_matches(index)
+                return None
             units = [
                 (anchor, chunk)
-                for chunk in _partition_by_hash(candidates, self.workers)
+                for chunk in partition(candidates, self.workers)
                 if chunk
             ]
         else:
-            if len(self._delta) < MIN_SHARD_FACTS:
-                return super().enumerate_matches(index)
-            relations = {fact.relation for fact in self._delta}
+            if _delta_size(self._delta) < MIN_SHARD_FACTS:
+                return None
+            if self._encoded:
+                relations = set(self._delta)
+            else:
+                relations = {fact.relation for fact in self._delta}
             anchors = compiled.anchor_indices(relations)
             if not anchors:
                 return []
             for anchor in anchors:
                 relation = atoms[anchor].relation
-                mine = [f for f in self._delta if f.relation == relation]
-                units.extend(
-                    (anchor, chunk)
-                    for chunk in _partition_by_hash(mine, self.workers)
-                    if chunk
-                )
+                if self._encoded:
+                    mine = self._delta.get(relation, ())
+                    chunks = _partition_row_ids(mine, self.workers)
+                else:
+                    mine = [f for f in self._delta if f.relation == relation]
+                    chunks = _partition_by_hash(mine, self.workers)
+                units.extend((anchor, chunk) for chunk in chunks if chunk)
+        return units
+
+    def enumerate_matches(self, index: int):
+        compiled = self._compiled[index]
+        if not compiled.premise_atoms or self._pool is None:
+            return super().enumerate_matches(index)
+        units = self._shard_units(index)
+        if units is None:
+            return super().enumerate_matches(index)
+        if not units:
+            return []
+        if self._encoded:
+            probe, merge = compiled.anchor_matches_encoded, _dedup_merge_rows
+        else:
+            probe, merge = compiled.anchor_matches, _dedup_merge
         view = self._view
         rec = self._recorder
         if not rec.enabled:
             futures = [
-                self._pool.submit(compiled.anchor_matches, view, anchor, chunk)
+                self._pool.submit(probe, view, anchor, chunk)
                 for anchor, chunk in units
             ]
-            return _dedup_merge([future.result() for future in futures])
+            return merge([future.result() for future in futures])
 
-        def timed(anchor: int, chunk: Set[Atom]):
+        def timed(anchor: int, chunk):
             begin = time.perf_counter()
-            result = compiled.anchor_matches(view, anchor, chunk)
+            result = probe(view, anchor, chunk)
             return result, begin, time.perf_counter()
 
         futures = [
             self._pool.submit(timed, anchor, chunk) for anchor, chunk in units
         ]
-        shards: List[List[Binding]] = []
+        shards: List[list] = []
         # Collect (and record) in unit order, not completion order, so the
         # trace's span sequence is deterministic.
         for unit, ((anchor, _chunk), future) in enumerate(zip(units, futures)):
@@ -398,7 +467,7 @@ class ThreadSharder(MatchSharder):
                 anchor=anchor,
                 matches=len(result),
             )
-        return _dedup_merge(shards)
+        return merge(shards)
 
 
 # ---------------------------------------------------------------------------
@@ -418,6 +487,15 @@ def _replica_worker(
     deterministic operations), so each round's delta is recomputed here
     from the mirrored generation window instead of being shipped.
 
+    Over the columnar kernel the same loop runs on encoded payloads:
+    ``facts`` events carry ``(relation, code row)`` pairs replayed in
+    per-relation batches via the bulk ``extend_encoded`` path, ``map``
+    events carry code-level null resolutions,
+    ``pool`` events append the parent's post-fork term-pool growth (rare
+    — warm-up interns every dependency literal pre-fork), the frozen
+    delta is a relation -> row-id-set dict, and replies are lists of
+    code tuples instead of bindings — integers, not pickled atoms.
+
     When ``traced``, each enumeration is timed and the reply grows a
     third element — ``{"spans": [...]}`` with one ``enumerate.worker``
     span per request.  ``perf_counter`` is ``CLOCK_MONOTONIC`` on Linux
@@ -425,6 +503,7 @@ def _replica_worker(
     splice these spans into its own timeline unadjusted.
     """
     view = replica.probe_view()
+    encoded = isinstance(replica, ColumnarInstance)
     # The round's delta, frozen at the round's first enumeration (keyed
     # by the generation it was taken from).  It must NOT be recomputed
     # after same-round event replays: the parent chases every dependency
@@ -432,7 +511,16 @@ def _replica_worker(
     # earlier dependencies enforced this round belong to the *next*
     # round's delta, not this one's.
     delta_since: Optional[int] = None
-    delta_frozen: Set[Atom] = set()
+    delta_frozen = {} if encoded else set()
+
+    def freeze_delta(since: int) -> None:
+        nonlocal delta_since, delta_frozen
+        if encoded:
+            delta_frozen = group_rows(replica.rows_since(since))
+        else:
+            delta_frozen = set(replica.facts_since(since))
+        delta_since = since
+
     try:
         while True:
             message = conn.recv()
@@ -445,10 +533,28 @@ def _replica_worker(
                     if kind == "bump":
                         replica.bump_generation()
                     elif kind == "facts":
-                        for fact in event[1]:
-                            replica.add(fact)
+                        if encoded:
+                            # Batch per relation: row ids are assigned
+                            # per table, so grouping keeps them in
+                            # lockstep with the coordinator while the
+                            # bulk path skips per-row overhead.
+                            batches: Dict[str, list] = {}
+                            for relation, values in event[1]:
+                                batches.setdefault(relation, []).append(
+                                    tuple(values)
+                                )
+                            for relation, batch in batches.items():
+                                replica.extend_encoded(relation, batch)
+                        else:
+                            for fact in event[1]:
+                                replica.add(fact)
+                    elif kind == "pool":
+                        replica.pool.adopt_entries(event[1], event[2])
                     else:  # "map"
-                        replica.apply_null_map(event[1])
+                        if encoded:
+                            replica.apply_null_map_encoded(event[1])
+                        else:
+                            replica.apply_null_map(event[1])
                 continue
             if op == "round":
                 # Freeze this round's delta *now*, before any of the
@@ -456,46 +562,70 @@ def _replica_worker(
                 # this right after flushing the previous round's tail.
                 since = message[1]
                 if since != delta_since:
-                    delta_frozen = set(replica.facts_since(since))
-                    delta_since = since
+                    freeze_delta(since)
                 continue
             _, dep_index, spec = message
             dependency = compiled[dep_index]
             try:
                 begin = time.perf_counter() if traced else 0.0
-                out: List[Binding] = []
+                out: list = []
                 if spec[0] == "full":
                     anchor = spec[1]
                     relation = dependency.premise_atoms[anchor].relation
-                    chunk = {
-                        fact
-                        for fact in replica.facts(relation)
-                        if hash(fact) % worker_count == worker_id
-                    }
-                    if chunk:
-                        out = dependency.anchor_matches(view, anchor, chunk)
+                    if encoded:
+                        chunk = {
+                            row_id
+                            for row_id in replica.live_row_ids(relation)
+                            if row_id % worker_count == worker_id
+                        }
+                        if chunk:
+                            out = dependency.anchor_matches_encoded(
+                                view, anchor, chunk
+                            )
+                    else:
+                        chunk = {
+                            fact
+                            for fact in replica.facts(relation)
+                            if hash(fact) % worker_count == worker_id
+                        }
+                        if chunk:
+                            out = dependency.anchor_matches(view, anchor, chunk)
                 else:  # ("delta", since, anchors)
                     _, since, anchors = spec
                     if since != delta_since:
                         # First enumeration of a new round: all of the
                         # previous round's events have been replayed and
-                        # none of this round's, so facts_since matches
-                        # the parent's frozen delta exactly.
-                        delta_frozen = set(replica.facts_since(since))
-                        delta_since = since
+                        # none of this round's, so the generation window
+                        # matches the parent's frozen delta exactly.
+                        freeze_delta(since)
                     delta = delta_frozen
                     for anchor in anchors:
                         relation = dependency.premise_atoms[anchor].relation
-                        chunk = {
-                            fact
-                            for fact in delta
-                            if fact.relation == relation
-                            and hash(fact) % worker_count == worker_id
-                        }
-                        if chunk:
-                            out.extend(
-                                dependency.anchor_matches(view, anchor, chunk)
-                            )
+                        if encoded:
+                            chunk = {
+                                row_id
+                                for row_id in delta.get(relation, ())
+                                if row_id % worker_count == worker_id
+                            }
+                            if chunk:
+                                out.extend(
+                                    dependency.anchor_matches_encoded(
+                                        view, anchor, chunk
+                                    )
+                                )
+                        else:
+                            chunk = {
+                                fact
+                                for fact in delta
+                                if fact.relation == relation
+                                and hash(fact) % worker_count == worker_id
+                            }
+                            if chunk:
+                                out.extend(
+                                    dependency.anchor_matches(
+                                        view, anchor, chunk
+                                    )
+                                )
                 if traced:
                     span = {
                         "id": 0,
@@ -550,7 +680,7 @@ class ProcessSharder(MatchSharder):
 
     # -- lifecycle ---------------------------------------------------------
 
-    def begin_run(self, working: Instance, compiled: Sequence) -> None:
+    def begin_run(self, working, compiled: Sequence) -> None:
         super().begin_run(working, compiled)
         self._pending = []
         self._broken = False
@@ -559,8 +689,13 @@ class ProcessSharder(MatchSharder):
         # Warm anchored plans and their hash indexes in the parent:
         # forked replicas inherit them copy-on-write instead of each
         # rebuilding the same indexes the serial chase builds once.
+        # Over the columnar kernel warm-up also interns every literal
+        # the dependencies mention, so the term-pool snapshot the fork
+        # ships is complete for almost every run — the mark records
+        # where post-fork growth (shipped as "pool" events) begins.
         for dependency in compiled:
             dependency.warm_enumeration_plans(working)
+        self._pool_mark = len(working.pool) if self._encoded else 0
         context = multiprocessing.get_context("fork")
         traced = self._recorder.enabled
         try:
@@ -626,18 +761,33 @@ class ProcessSharder(MatchSharder):
         if not self._broken and resolution:
             self._pending.append(("map", dict(resolution)))
 
+    def _drain_events(self) -> List[tuple]:
+        """The queued replica events, prefixed with any post-fork term
+        pool growth (new codes must exist replica-side before the facts
+        or maps that mention them replay)."""
+        events = self._pending
+        self._pending = []
+        if self._encoded:
+            pool = self._working.pool
+            if len(pool) > self._pool_mark:
+                events.insert(
+                    0,
+                    ("pool", self._pool_mark,
+                     pool.entries_since(self._pool_mark)),
+                )
+                self._pool_mark = len(pool)
+        return events
+
     # -- per round ---------------------------------------------------------
 
-    def begin_round(
-        self, delta: Optional[Set[Atom]], since: Optional[int]
-    ) -> None:
+    def begin_round(self, delta, since: Optional[int]) -> None:
         super().begin_round(delta, since)
         if (
             self._broken
             or not self._connections
             or delta is None
             or since is None
-            or len(delta) < MIN_SHARD_FACTS
+            or _delta_size(delta) < MIN_SHARD_FACTS
         ):
             return
         # Tell the workers to freeze the round's delta before any of
@@ -646,9 +796,8 @@ class ProcessSharder(MatchSharder):
         # may enforce facts before the first sharded enumeration, and
         # those belong to the *next* round's delta.
         try:
-            if self._pending:
-                events = self._pending
-                self._pending = []
+            events = self._drain_events()
+            if events:
                 for conn in self._connections:
                     conn.send(("events", events))
             for conn in self._connections:
@@ -658,7 +807,7 @@ class ProcessSharder(MatchSharder):
 
     # -- enumeration -------------------------------------------------------
 
-    def enumerate_matches(self, index: int) -> List[Binding]:
+    def enumerate_matches(self, index: int):
         if self._broken or not self._connections:
             return MatchSharder.enumerate_matches(self, index)
         compiled = self._compiled[index]
@@ -670,22 +819,27 @@ class ProcessSharder(MatchSharder):
                 return MatchSharder.enumerate_matches(self, index)
             spec = ("full", self._full_anchor(index))
         else:
-            if len(self._delta) < MIN_SHARD_FACTS or self._since is None:
+            if (
+                _delta_size(self._delta) < MIN_SHARD_FACTS
+                or self._since is None
+            ):
                 return MatchSharder.enumerate_matches(self, index)
-            relations = {fact.relation for fact in self._delta}
+            if self._encoded:
+                relations = set(self._delta)
+            else:
+                relations = {fact.relation for fact in self._delta}
             anchors = compiled.anchor_indices(relations)
             if not anchors:
                 return []
             spec = ("delta", self._since, anchors)
         try:
-            if self._pending:
-                events = self._pending
-                self._pending = []
+            events = self._drain_events()
+            if events:
                 for conn in self._connections:
                     conn.send(("events", events))
             for conn in self._connections:
                 conn.send(("enum", index, spec))
-            shards: List[List[Binding]] = []
+            shards: List[list] = []
             rec = self._recorder
             # Replies are collected in connection order — worker spans
             # merge into the parent trace deterministically.
@@ -708,5 +862,7 @@ class ProcessSharder(MatchSharder):
         if spec[0] == "full":
             # Chunks of one anchor partition the anchor facts, and a full
             # plan yields each binding exactly once — no dedup needed.
-            return [binding for shard in shards for binding in shard]
+            return [match for shard in shards for match in shard]
+        if self._encoded:
+            return _dedup_merge_rows(shards)
         return _dedup_merge(shards)

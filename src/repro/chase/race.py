@@ -28,6 +28,13 @@ Three tiers mirror :mod:`repro.chase.parallel`: :class:`SerialRacer`
 payloads are inherited copy-on-write and only indices travel down /
 results travel up).  Worker failures degrade to the serial loop with
 identical results.
+
+Branches need no term-pool coordination under the columnar kernel:
+racing threads intern into the shared (locked) global pool, while each
+forked worker grows its private copy-on-write pool — the columnar
+instances inside its results pickle as portable decoded rows and
+re-intern against the parent's pool on arrival, so codes never cross a
+process boundary.
 """
 
 from __future__ import annotations

@@ -102,6 +102,12 @@ def build_argument_parser() -> argparse.ArgumentParser:
              "bit-identical to the serial sweep",
     )
     chase_cmd.add_argument(
+        "--kernel", default="columnar", choices=("columnar", "reference"),
+        metavar="KERNEL",
+        help="working-instance storage: columnar (interned struct-of-"
+             "arrays, default) or reference (set-based Instance)",
+    )
+    chase_cmd.add_argument(
         "--no-verify", action="store_true", help="skip the soundness check"
     )
     chase_cmd.add_argument(
@@ -325,10 +331,12 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         ChaseConfig(
             parallelism=args.parallelism,
             branch_parallelism=args.branch_parallelism,
+            kernel=args.kernel,
             trace=trace_config,
         )
         if args.parallelism != "serial"
         or args.branch_parallelism != "serial"
+        or args.kernel != "columnar"
         or trace_config is not None
         else None
     )

@@ -50,9 +50,18 @@ from repro.errors import DatalogError
 from repro.logic.atoms import Atom
 from repro.logic.terms import Term, Variable
 from repro.obs.recorder import NULL_RECORDER
-from repro.relational.delta import DeltaPlans, GenerationWindow, PlanCache
+from repro.relational.delta import (
+    DeltaPlans,
+    GenerationWindow,
+    PlanCache,
+    group_rows,
+)
 from repro.relational.instance import Instance
-from repro.relational.query import evaluate as evaluate_body
+from repro.relational.kernel import ColumnarInstance
+from repro.relational.query import (
+    evaluate as evaluate_body,
+    reference_mode_active,
+)
 
 __all__ = [
     "materialize",
@@ -78,6 +87,44 @@ def _head_fact(rule: Rule, binding: Dict[Variable, Term]) -> Atom:
     return Atom(rule.head.relation, tuple(terms))
 
 
+class _EncodedHead:
+    """A rule head lowered onto the columnar kernel.
+
+    Per-term (kind, value) pairs: kind 0 reads a slot of the body's
+    encoded result row, kind 1 is an interned constant code, kind 2 is
+    an unbound head variable — which, like the decoded path, only
+    raises when the rule actually fires.
+    """
+
+    __slots__ = ("rule", "relation", "template")
+
+    def __init__(self, rule: Rule, varlist, pool) -> None:
+        self.rule = rule
+        self.relation = rule.head.relation
+        slot_of = {variable: i for i, variable in enumerate(varlist)}
+        template = []
+        for term in rule.head.terms:
+            if isinstance(term, Variable):
+                slot = slot_of.get(term)
+                template.append((0, slot) if slot is not None else (2, term))
+            else:
+                template.append((1, pool.encode(term)))
+        self.template = tuple(template)
+
+    def row(self, match) -> tuple:
+        values = []
+        for kind, value in self.template:
+            if kind == 0:
+                values.append(match[value])
+            elif kind == 1:
+                values.append(value)
+            else:
+                raise DatalogError(
+                    f"unbound head variable {value} in rule {self.rule}"
+                )
+        return tuple(values)
+
+
 class SemanticDatabase:
     """An incrementally-maintained semantic database ``I ∪ Υ(I)``.
 
@@ -100,6 +147,7 @@ class SemanticDatabase:
         "_components",
         "_component_rules",
         "_plans",
+        "_encoded_heads",
         "_cache",
         "_synced_generation",
         "_fresh",
@@ -112,13 +160,24 @@ class SemanticDatabase:
         self,
         program: Optional[ViewProgram],
         base: Optional[Iterable[Atom]] = None,
+        kernel: str = "columnar",
     ) -> None:
         """``program`` may be ``None`` for a view-less semantic schema —
-        the database then degenerates to a plain fact store."""
+        the database then degenerates to a plain fact store.
+
+        ``kernel`` picks the working store: ``"columnar"`` (the
+        default) runs the fixpoint over encoded rows; anything else —
+        or an active reference-evaluator context — keeps the set-based
+        :class:`Instance`.
+        """
         self.program = program
-        self._working = Instance()
+        if kernel == "columnar" and not reference_mode_active():
+            self._working = ColumnarInstance()
+        else:
+            self._working = Instance()
         self._cache = PlanCache()
         self._plans: Dict[int, DeltaPlans] = {}
+        self._encoded_heads: Dict[int, _EncodedHead] = {}
         if program is not None:
             program.check_predicates()
             self._components = stratified_components(program)
@@ -173,23 +232,30 @@ class SemanticDatabase:
     def refresh(self) -> "SemanticDatabase":
         """Re-establish ``Υ(I)`` after insertions; no-op when synced."""
         working = self._working
-        pending = working.facts_since(self._synced_generation)
+        if isinstance(working, ColumnarInstance):
+            # The refresh trigger only needs relations and a count —
+            # stay on (relation, row id) pairs, no decode.
+            pending = working.rows_since(self._synced_generation)
+            pending_relations = {relation for relation, _ in pending}
+        else:
+            pending = working.facts_since(self._synced_generation)
+            pending_relations = {fact.relation for fact in pending}
         if not pending and not self._fresh:
             return self
         rec = self._recorder
         with rec.span("datalog.refresh", pending=len(pending)):
             before = len(working)
-            self._refresh_components(bool(self._fresh), pending)
+            self._refresh_components(bool(self._fresh), pending_relations)
             if rec.enabled:
                 rec.count("datalog.refreshes")
                 rec.count("datalog.derived_facts", len(working) - before)
         self._synced_generation = working.bump_generation()
         return self
 
-    def _refresh_components(self, initial: bool, pending) -> None:
+    def _refresh_components(self, initial: bool, pending_relations) -> None:
         working = self._working
         self._fresh = False
-        changed: Set[str] = {fact.relation for fact in pending}
+        changed: Set[str] = set(pending_relations)
         rebuilding = False
         for position, component in enumerate(self._components):
             rules = self._component_rules[position]
@@ -233,39 +299,74 @@ class SemanticDatabase:
         inserted since the last refresh, so the pass costs O(|Δ|).
         """
         working = self._working
+        encoded = isinstance(working, ColumnarInstance)
         rules = self._component_rules[position]
         base_key = position << 20
         if full:
             working.bump_generation()
             window = GenerationWindow(working)
             for offset, rule in enumerate(rules):
-                plans = self._rule_plans(rule, base_key + offset)
-                for binding in plans.matches(working):
-                    working.add(_head_fact(rule, binding))
+                self._fire_rule(rule, base_key + offset, delta=None)
         else:
             window = GenerationWindow(working, since=self._synced_generation)
         rec = self._recorder
         while True:
-            delta = window.advance()
-            if not delta:
-                return
+            if encoded:
+                rows = window.advance_rows()
+                if not rows:
+                    return
+                delta = group_rows(rows)
+                delta_relations = set(delta)
+                delta_count = len(rows)
+            else:
+                delta = window.advance()
+                if not delta:
+                    return
+                delta_relations = {fact.relation for fact in delta}
+                delta_count = len(delta)
             if rec.enabled:
                 rec.count("datalog.passes")
-                rec.count("datalog.pass_facts", len(delta))
-            delta_relations = {fact.relation for fact in delta}
+                rec.count("datalog.pass_facts", delta_count)
             for offset, rule in enumerate(rules):
-                plans = self._rule_plans(rule, base_key + offset)
                 if rule.positive_body_predicates() & delta_relations:
-                    for binding in plans.delta_matches(working, delta):
-                        working.add(_head_fact(rule, binding))
+                    self._fire_rule(rule, base_key + offset, delta=delta)
                 elif rule.body_predicates() & delta_relations:
                     # The delta is only visible through nested negation
                     # (an even-depth — hence monotone and stratifiable —
                     # recursive edge, e.g. ``not (not V(x))``).  Delta
                     # anchoring joins positive atoms only and would miss
                     # it, so re-run the rule in full.
-                    for binding in plans.matches(working):
-                        working.add(_head_fact(rule, binding))
+                    self._fire_rule(rule, base_key + offset, delta=None)
+
+    def _fire_rule(self, rule: Rule, key: int, delta) -> None:
+        """Evaluate one rule (full when ``delta`` is None, else
+        delta-restricted) and insert its head facts, on whichever
+        kernel the working store speaks.  The delta arrives in the
+        kernel's own shape: a set of atoms, or a relation ->
+        row-id-set dict whose rows never decode."""
+        working = self._working
+        plans = self._rule_plans(rule, key)
+        if isinstance(working, ColumnarInstance):
+            head = self._encoded_heads.get(key)
+            if head is None:
+                # The varlist (bound + fresh body variables in name
+                # order) is data-independent, so the lowered head
+                # survives plan recompiles.
+                head = _EncodedHead(rule, plans.varlist(working), working.pool)
+                self._encoded_heads[key] = head
+            if delta is None:
+                matches = plans.matches_encoded(working)
+            else:
+                matches = plans.delta_matches_encoded(working, delta)
+            add, relation, build = working.add_encoded, head.relation, head.row
+            for match in matches:
+                add(relation, build(match))
+        elif delta is None:
+            for binding in plans.matches(working):
+                working.add(_head_fact(rule, binding))
+        else:
+            for binding in plans.delta_matches(working, delta):
+                working.add(_head_fact(rule, binding))
 
     # -- reading -----------------------------------------------------------
 

@@ -206,10 +206,12 @@ def render_profile(
             len(report.workers),
         )
     )
-    if trace is not None and trace.counters:
-        counter_rows = [
-            [name, trace.counters[name]] for name in sorted(trace.counters)
-        ]
+    if trace is not None and (trace.counters or trace.gauges):
+        # One merged table: counters (monotone sums) and gauges (final
+        # levels, e.g. ``instance.intern_size``) share the namespace.
+        merged = dict(trace.counters)
+        merged.update(trace.gauges)
+        metric_rows = [[name, merged[name]] for name in sorted(merged)]
         lines.append("")
-        lines.append(format_table(["counter", "value"], counter_rows))
+        lines.append(format_table(["counter", "value"], metric_rows))
     return "\n".join(lines)

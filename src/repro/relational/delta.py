@@ -54,6 +54,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from repro.logic.atoms import Atom, Conjunction
 from repro.logic.terms import Term, Variable
 from repro.relational.instance import Instance
+from repro.relational.kernel import ColumnarInstance
 from repro.relational import query as _query
 from repro.relational.query import (
     Binding,
@@ -63,7 +64,18 @@ from repro.relational.query import (
     exists,
 )
 
-__all__ = ["PlanCache", "DeltaPlans", "GenerationWindow"]
+__all__ = ["PlanCache", "DeltaPlans", "GenerationWindow", "group_rows"]
+
+#: Encoded delta: relation -> set of row ids inserted this window.
+RowDelta = Dict[str, Set[int]]
+
+
+def group_rows(rows: Iterable[Tuple[str, int]]) -> RowDelta:
+    """Group (relation, row id) pairs into the encoded delta shape."""
+    grouped: RowDelta = {}
+    for relation, row_id in rows:
+        grouped.setdefault(relation, set()).add(row_id)
+    return grouped
 
 
 class PlanCache:
@@ -276,8 +288,11 @@ class DeltaPlans:
         The parallel chase calls this on the parent *before* forking its
         replica workers: plans and hash indexes are inherited
         copy-on-write, so N workers don't each rebuild the same indexes
-        that the serial chase builds once.
+        that the serial chase builds once.  Over the columnar kernel the
+        encoded plans are lowered here too, which interns every literal
+        the body mentions — forked workers then never grow the pool.
         """
+        columnar = isinstance(instance, ColumnarInstance)
         for anchor_index in range(len(self.body.atoms)):
             plan = self._cache.plan(
                 (self._key, "anchor", anchor_index),
@@ -286,8 +301,79 @@ class DeltaPlans:
                 instance,
                 first_atom=anchor_index,
             )
-            for step in plan.steps:
-                instance.index(step.relation, step.positions)
+            if columnar:
+                encoded = plan.encoded(instance.pool)
+                for step in encoded.steps:
+                    instance.encoded_index(step.relation, step.positions)
+            else:
+                for step in plan.steps:
+                    instance.index(step.relation, step.positions)
+
+    # -- encoded evaluation (columnar kernel fast path) --------------------
+
+    def varlist(self, store) -> Tuple[Variable, ...]:
+        """Result-row layout of the encoded plans (bound + fresh
+        variables in name order; identical across anchors)."""
+        plan = self._cache.plan((self._key, "full"), self.body, self.bound, store)
+        return plan.encoded(store.pool).varlist
+
+    def matches_encoded(self, store) -> List[Tuple[int, ...]]:
+        """All result rows as code tuples (no Atom or dict objects)."""
+        plan = self._cache.plan((self._key, "full"), self.body, self.bound, store)
+        return list(plan.encoded(store.pool).rows(store))
+
+    def delta_matches_encoded(
+        self, store, delta_rows: RowDelta
+    ) -> List[Tuple[int, ...]]:
+        """Encoded semi-naive join: rows touching at least one delta row,
+        deduplicated across anchors by raw row tuple (the row is the
+        binding, in varlist order, so tuple equality is binding
+        equality)."""
+        if not self.body.atoms:
+            return self.matches_encoded(store)
+        out: List[Tuple[int, ...]] = []
+        seen: Set[Tuple[int, ...]] = set()
+        for anchor_index, anchor in enumerate(self.body.atoms):
+            rows = delta_rows.get(anchor.relation)
+            if not rows:
+                continue
+            plan = self._cache.plan(
+                (self._key, "anchor", anchor_index),
+                self.body,
+                self.bound,
+                store,
+                first_atom=anchor_index,
+            )
+            for row in plan.encoded(store.pool).rows(store, delta=rows):
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+        return out
+
+    def anchor_matches_encoded(
+        self, store, anchor_index: int, restrict: Set[int]
+    ) -> List[Tuple[int, ...]]:
+        """One shard of :meth:`delta_matches_encoded` (no cross-anchor
+        dedup — the merging caller owns it, as in :meth:`anchor_matches`)."""
+        plan = self._cache.plan(
+            (self._key, "anchor", anchor_index),
+            self.body,
+            self.bound,
+            store,
+            first_atom=anchor_index,
+        )
+        return list(plan.encoded(store.pool).rows(store, delta=restrict))
+
+    def exists_encoded(
+        self, store, outer_varlist: Tuple[Variable, ...], row: Tuple[int, ...]
+    ) -> bool:
+        """Existence probe seeded from an encoded outer row (the chase's
+        satisfaction check: ``row`` is aligned to ``outer_varlist``)."""
+        plan = self._cache.plan((self._key, "full"), self.body, self.bound, store)
+        encoded = plan.encoded(store.pool)
+        return encoded.exists_filled(
+            store, encoded.fill_for(outer_varlist), row
+        )
 
     def exists(self, instance: Instance, seed: Optional[Binding] = None) -> bool:
         """Whether the body has at least one match (short-circuits)."""
@@ -323,6 +409,13 @@ class GenerationWindow:
         delta = set(self.instance.facts_since(self._since))
         self._since = self.instance.bump_generation()
         return delta
+
+    def advance_rows(self) -> List[Tuple[str, int]]:
+        """Encoded :meth:`advance`: (relation, row id) pairs instead of
+        decoded atoms (columnar instances only)."""
+        rows = self.instance.rows_since(self._since)
+        self._since = self.instance.bump_generation()
+        return rows
 
     @property
     def since(self) -> int:

@@ -482,5 +482,51 @@ class ProbeView:
     def __len__(self) -> int:
         return len(self._instance)
 
+    # -- the encoded surface (columnar kernel delegates) -------------------
+    #
+    # When the underlying store is a ColumnarInstance these expose the
+    # encoded probe surface to workers; over a set-based Instance they
+    # simply fail with AttributeError, which no caller reaches because
+    # plan dispatch picks the encoded path only for columnar stores.
+
+    @property
+    def pool(self):
+        return self._instance.pool
+
+    @property
+    def kernel_stats(self):
+        return self._instance.kernel_stats
+
+    def encoded_index(self, relation: str, positions: Sequence[int]):
+        return self._instance.encoded_index(relation, positions)
+
+    def columns(self, relation: str):
+        return self._instance.columns(relation)
+
+    def row_values(self, relation: str, row_id: int):
+        return self._instance.row_values(relation, row_id)
+
+    def live_row_ids(self, relation: str) -> List[int]:
+        return self._instance.live_row_ids(relation)
+
+    def rows_since(
+        self, generation: int, relation: Optional[str] = None
+    ) -> List[Tuple[str, int]]:
+        return self._instance.rows_since(generation, relation)
+
+    def export_rows(self, rows):
+        return self._instance.export_rows(rows)
+
+    def decode_term(self, code: int) -> Term:
+        return self._instance.decode_term(code)
+
+    def encode_term(self, term: Term) -> int:
+        # Interning is append-only and thread-safe; encoding through a
+        # read-only view does not mutate any fact state.
+        return self._instance.encode_term(term)
+
+    def row_id_of(self, fact: Atom) -> Optional[int]:
+        return self._instance.row_id_of(fact)
+
     def __repr__(self) -> str:
         return f"ProbeView({self._instance!r})"

@@ -1,0 +1,956 @@
+"""The columnar instance kernel: interned terms over struct-of-arrays rows.
+
+The set-based :class:`~repro.relational.instance.Instance` stores one
+``Atom`` object per fact; every join probe hashes tuples of term
+objects, and the parallel chase pickles those objects across the worker
+pipe.  This module is the columnar replacement the ROADMAP's top item
+asked for:
+
+:class:`TermPool`
+    A process-wide interning pool mapping constants to dense positive
+    integer ids.  Labeled nulls do not intern at all — a null encodes as
+    ``-(id + 1)``, so its code *carries* the numeric component of the
+    engine's canonical ``_term_order`` and fresh chase nulls never touch
+    the pool's dict.  The pool precomputes each constant's order key
+    (``(0, 0, repr(term))``) at intern time, so sorting encoded rows
+    reproduces the engine's canonical enforcement order exactly.  The
+    pool is append-only: forked chase replicas inherit it copy-on-write,
+    and the parent ships ``entries_since`` deltas if it ever grows
+    mid-run (see :meth:`TermPool.adopt_entries`).
+
+:class:`ColumnarInstance`
+    Facts as struct-of-arrays ``array('q')`` columns per relation, with
+    a row-dedup dict (encoded row tuple -> row id), per-generation row
+    logs (the encoded ``facts_since`` window), incrementally maintained
+    encoded hash indexes, and O(rows) bulk null replacement.  It speaks
+    the full Atom-level :class:`Instance` surface (decode at the edges),
+    plus the encoded fast path the compiled query plans and the chase
+    engine ride: ``add_encoded`` / ``encoded_index`` / ``columns`` /
+    ``rows_since``.
+
+The class is deliberately *not* an ``Instance`` subclass: the two are
+independent kernels behind one duck-typed surface, and
+``Instance.__eq__`` returns ``NotImplemented`` for non-instances so
+cross-kernel equality lands in :meth:`ColumnarInstance.__eq__` (which
+decodes and compares fact sets) — the differential suites rely on it.
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from collections import defaultdict
+from operator import itemgetter
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import SchemaError
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Null, Term
+from repro.relational.instance import ProbeView
+from repro.relational.types import term_order_key
+
+__all__ = [
+    "TermPool",
+    "ColumnarInstance",
+    "global_pool",
+    "encode_null",
+    "null_id_of",
+]
+
+_IndexKey = Tuple[str, Tuple[int, ...]]
+
+
+def encode_null(null_id: int) -> int:
+    """A null's code: ``-(id + 1)`` so even ``Null(0)`` stays negative."""
+    return -(null_id + 1)
+
+
+def null_id_of(code: int) -> int:
+    """Inverse of :func:`encode_null` (``code`` must be negative)."""
+    return -code - 1
+
+
+class TermPool:
+    """Append-only interning pool: constants <-> dense positive int ids.
+
+    Code 0 is never issued; constants get codes ``1..n`` in intern
+    order, nulls encode arithmetically (negative) without touching the
+    pool.  Interning is thread-safe; decode/order-key reads are
+    lock-free (entries are published before their id is).
+    """
+
+    __slots__ = ("_lock", "_ids", "_terms", "_orders")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ids: Dict[Constant, int] = {}
+        # Slot 0 is a sentinel so code == list index.
+        self._terms: List[Optional[Term]] = [None]
+        self._orders: List[Optional[Tuple[int, int, str]]] = [None]
+
+    def __len__(self) -> int:
+        """Interned constants (the ``instance.intern_size`` gauge)."""
+        return len(self._terms) - 1
+
+    def encode(self, term: Term) -> int:
+        """Intern (or look up) a ground term; returns its code."""
+        if isinstance(term, Null):
+            return -(term.id + 1)
+        code = self._ids.get(term)
+        if code is not None:
+            return code
+        with self._lock:
+            code = self._ids.get(term)
+            if code is None:
+                code = len(self._terms)
+                self._terms.append(term)
+                self._orders.append(term_order_key(term))
+                # Publish the id last: lock-free readers that obtain a
+                # code always find its entry populated.
+                self._ids[term] = code
+        return code
+
+    def try_encode(self, term: Term) -> Optional[int]:
+        """The code of a term *without* interning; None when unknown.
+
+        Membership probes use this so looking up an absent fact never
+        grows the pool (important for forked replicas, whose pools must
+        only grow through shipped deltas).
+        """
+        if isinstance(term, Null):
+            return -(term.id + 1)
+        return self._ids.get(term)
+
+    def decode(self, code: int) -> Term:
+        """The term behind a code (nulls decode hint-less; instances
+        overlay their per-run hints — see
+        :meth:`ColumnarInstance.decode_term`)."""
+        if code < 0:
+            return Null(-code - 1)
+        return self._terms[code]  # type: ignore[return-value]
+
+    def order_key(self, code: int) -> Tuple[int, int, str]:
+        """The canonical ``_term_order`` key of an encoded term."""
+        if code < 0:
+            return (1, -code - 1, "")
+        return self._orders[code]  # type: ignore[return-value]
+
+    # -- snapshot / delta shipping (forked replicas) -----------------------
+
+    @property
+    def snapshot_mark(self) -> int:
+        """Current length, as a mark for :meth:`entries_since`."""
+        return len(self._terms)
+
+    def entries_since(self, mark: int) -> List[Term]:
+        """Constants interned since ``mark`` (parent -> replica delta)."""
+        return list(self._terms[mark:])  # type: ignore[arg-type]
+
+    def adopt_entries(self, mark: int, terms: Sequence[Term]) -> None:
+        """Append a parent's pool delta; ids must line up exactly.
+
+        A replica that interned anything on its own has diverged from
+        the parent's id space and can no longer ship compatible encoded
+        rows — that is a hard error, not a merge.
+        """
+        with self._lock:
+            if len(self._terms) != mark:
+                raise RuntimeError(
+                    f"intern pool diverged: expected {mark} entries, "
+                    f"have {len(self._terms)}"
+                )
+            for term in terms:
+                code = len(self._terms)
+                self._terms.append(term)
+                self._orders.append(term_order_key(term))
+                self._ids[term] = code  # type: ignore[index]
+
+
+_GLOBAL_POOL = TermPool()
+
+
+def global_pool() -> TermPool:
+    """The process-wide pool every :class:`ColumnarInstance` defaults to.
+
+    One shared id space is what lets plans, instances and forked chase
+    replicas exchange encoded rows without translation."""
+    return _GLOBAL_POOL
+
+
+class _KernelStats:
+    """Mutable per-instance kernel counters (flight-recorder harvest)."""
+
+    __slots__ = ("encoded_appends", "probe_rows")
+
+    def __init__(self) -> None:
+        self.encoded_appends = 0
+        self.probe_rows = 0
+
+
+class _Table:
+    """One relation's struct-of-arrays storage."""
+
+    __slots__ = ("arity", "columns", "generations", "row_ids", "live_count")
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self.columns: List[array] = [array("q") for _ in range(arity)]
+        #: Insertion generation per row; -1 marks a tombstoned row.
+        self.generations: array = array("q")
+        #: Encoded row tuple -> row id (kept for dead rows too, so a
+        #: re-add resurrects the existing row id).
+        self.row_ids: Dict[Tuple[int, ...], int] = {}
+        self.live_count = 0
+
+    def row_values(self, row_id: int) -> Tuple[int, ...]:
+        return tuple(column[row_id] for column in self.columns)
+
+    def copy(self) -> "_Table":
+        clone = _Table.__new__(_Table)
+        clone.arity = self.arity
+        clone.columns = [array("q", column) for column in self.columns]
+        clone.generations = array("q", self.generations)
+        clone.row_ids = dict(self.row_ids)
+        clone.live_count = self.live_count
+        return clone
+
+
+class ColumnarInstance:
+    """A fact store with the :class:`Instance` surface over int columns.
+
+    Terms encode through a shared :class:`TermPool`; rows are tuples of
+    codes.  Mutations mirror ``Instance`` operation for operation —
+    generation bookkeeping, insertion logs, index invalidation and the
+    null-map collapse rules are bit-compatible, which the differential
+    suites assert corpus-wide.
+    """
+
+    #: Class tag mirroring ``ChaseConfig.kernel`` values.
+    kernel_name = "columnar"
+
+    def __init__(self, schema=None, pool: Optional[TermPool] = None) -> None:
+        self.schema = schema
+        self.pool = pool if pool is not None else _GLOBAL_POOL
+        self._tables: Dict[str, _Table] = {}
+        self._current_generation = 0
+        # generation -> [(relation, row id)]; entries go stale when a
+        # row dies or changes generation — readers filter through the
+        # row's generation, exactly like Instance._insertion_log.
+        self._insertion_log: Dict[int, List[Tuple[str, int]]] = defaultdict(list)
+        #: The current generation's log list, cached so the append hot
+        #: path skips a dict probe; rebound on every generation change.
+        self._log_tail: List[Tuple[str, int]] = self._insertion_log[0]
+        self._version = 0
+        self._relation_versions: Dict[str, int] = defaultdict(int)
+        # Encoded hash indexes: (relation, positions) -> key -> [row id].
+        self._indexes: Dict[_IndexKey, Dict[Tuple[int, ...], List[int]]] = {}
+        self._index_versions: Dict[_IndexKey, int] = {}
+        self._live_index_keys: Dict[str, List[_IndexKey]] = {}
+        self._key_count_cache: Dict[_IndexKey, Tuple[int, int]] = {}
+        # Atom-level indexes (reference evaluator over this kernel);
+        # rebuilt lazily, never maintained incrementally — off hot path.
+        self._atom_indexes: Dict[_IndexKey, Dict[Tuple[Term, ...], List[Atom]]] = {}
+        self._atom_index_versions: Dict[_IndexKey, int] = {}
+        self._index_lock = threading.Lock()
+        #: Null id -> hint for this instance's nulls (hints are per-run
+        #: presentation state, so they live here and not in the pool).
+        self._null_hints: Dict[int, str] = {}
+        self.index_builds = 0
+        self.kernel_stats = _KernelStats()
+
+    # -- pickling (decode, ship values, re-intern on arrival) --------------
+
+    def __getstate__(self):
+        """Portable state: decoded rows, not pool-relative codes.
+
+        Encoded codes are only meaningful against the originating
+        process's pool, so crossing a pickle boundary (spawned workers,
+        result shipping) serializes decoded term rows and re-interns
+        against the local pool on arrival.
+        """
+        tables = {}
+        for relation, table in self._tables.items():
+            rows = []
+            for row_id in range(len(table.generations)):
+                generation = table.generations[row_id]
+                if generation < 0:
+                    continue
+                rows.append(
+                    (
+                        tuple(
+                            self.decode_term(column[row_id])
+                            for column in table.columns
+                        ),
+                        generation,
+                    )
+                )
+            tables[relation] = (table.arity, rows)
+        return {
+            "schema": self.schema,
+            "current_generation": self._current_generation,
+            "version": self._version,
+            "null_hints": dict(self._null_hints),
+            "tables": tables,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.__init__(state["schema"])
+        self._null_hints = dict(state["null_hints"])
+        encode = self.pool.encode
+        for relation, (arity, rows) in state["tables"].items():
+            table = self._table(relation, arity)
+            for terms, generation in rows:
+                row = tuple(encode(term) for term in terms)
+                row_id = len(table.generations)
+                for column, code in zip(table.columns, row):
+                    column.append(code)
+                table.generations.append(generation)
+                table.row_ids[row] = row_id
+                table.live_count += 1
+                self._insertion_log[generation].append((relation, row_id))
+        self._current_generation = state["current_generation"]
+        self._log_tail = self._insertion_log[self._current_generation]
+        self._version = state["version"]
+
+    # -- encode / decode edges ---------------------------------------------
+
+    def encode_term(self, term: Term) -> int:
+        """Intern a term, recording a null's hint on this instance."""
+        if isinstance(term, Null):
+            if term.hint and term.id not in self._null_hints:
+                self._null_hints[term.id] = term.hint
+            return -(term.id + 1)
+        return self.pool.encode(term)
+
+    def decode_term(self, code: int) -> Term:
+        """Decode a code, overlaying this instance's null hints."""
+        if code < 0:
+            null_id = -code - 1
+            return Null(null_id, self._null_hints.get(null_id, ""))
+        return self.pool.decode(code)
+
+    def note_null(self, null: Null) -> int:
+        """Record a freshly invented null's hint; returns its code."""
+        if null.hint and null.id not in self._null_hints:
+            self._null_hints[null.id] = null.hint
+        return -(null.id + 1)
+
+    def encode_row(self, terms: Sequence[Term]) -> Tuple[int, ...]:
+        return tuple(self.encode_term(term) for term in terms)
+
+    def decode_row(self, relation: str, row_id: int) -> Atom:
+        table = self._tables[relation]
+        return Atom(
+            relation,
+            tuple(self.decode_term(column[row_id]) for column in table.columns),
+        )
+
+    def row_id_of(self, fact: Atom) -> Optional[int]:
+        """The live row id holding this fact, or None."""
+        found = self._try_row_id(fact)
+        return found[1] if found is not None else None
+
+    def _try_row_id(self, fact: Atom) -> Optional[Tuple[_Table, int]]:
+        """The live row id of a fact, without interning anything."""
+        table = self._tables.get(fact.relation)
+        if table is None or table.arity != len(fact.terms):
+            return None
+        try_encode = self.pool.try_encode
+        row: List[int] = []
+        for term in fact.terms:
+            code = try_encode(term)
+            if code is None:
+                return None
+            row.append(code)
+        row_id = table.row_ids.get(tuple(row))
+        if row_id is None or table.generations[row_id] < 0:
+            return None
+        return table, row_id
+
+    # -- mutation ----------------------------------------------------------
+
+    def _table(self, relation: str, arity: int) -> _Table:
+        table = self._tables.get(relation)
+        if table is None:
+            table = _Table(arity)
+            self._tables[relation] = table
+        elif table.arity != arity:
+            raise SchemaError(
+                f"relation {relation!r} holds arity-{table.arity} rows; "
+                f"cannot add an arity-{arity} row (the columnar kernel "
+                f"stores one column layout per relation)"
+            )
+        return table
+
+    def add_encoded(self, relation: str, row: Tuple[int, ...]) -> bool:
+        """Insert an encoded row; returns True when it was new.
+
+        The hot path of the chase's enforce phase: no Atom objects, no
+        term hashing — a tuple-of-ints dict probe and O(arity) appends.
+        Per-call overhead is pared down deliberately (inlined table
+        fetch, one ``setdefault`` probe instead of get-then-set, the
+        cached insertion-log tail): the e13 micro-bench pins this path
+        to a multiple of the reference kernel's Atom inserts.
+        """
+        table = self._tables.get(relation)
+        if table is None or table.arity != len(row):
+            table = self._table(relation, len(row))
+        generations = table.generations
+        row_id = len(generations)
+        found = table.row_ids.setdefault(row, row_id)
+        if found != row_id:
+            if generations[found] >= 0:
+                return False
+            # Resurrect a tombstoned row: same id, new generation.
+            row_id = found
+            generations[row_id] = self._current_generation
+        else:
+            for column, code in zip(table.columns, row):
+                column.append(code)
+            generations.append(self._current_generation)
+        table.live_count += 1
+        self._log_tail.append((relation, row_id))
+        self._version += 1
+        self._relation_versions[relation] += 1
+        live = self._live_index_keys.get(relation)
+        if live:
+            version = self._relation_versions[relation]
+            for key in live:
+                index = self._indexes[key]
+                index_key = tuple(row[i] for i in key[1])
+                bucket = index.get(index_key)
+                if bucket is None:
+                    index[index_key] = [row_id]
+                else:
+                    bucket.append(row_id)
+                self._index_versions[key] = version
+        self.kernel_stats.encoded_appends += 1
+        return True
+
+    def extend_encoded(
+        self, relation: str, rows: Sequence[Tuple[int, ...]]
+    ) -> int:
+        """Bulk-insert encoded rows; returns how many were new.
+
+        The batch counterpart of :meth:`add_encoded`, and the path every
+        bulk movement rides (engine seeding via :meth:`ingest`, forked
+        replicas replaying the coordinator's per-round fact events,
+        pickle rehydration).  One dedup pass assigns row ids; the
+        column stores then fill through C-level ``array.extend`` over
+        ``map(itemgetter(i), ...)``, so the per-row interpreter cost is
+        one dict probe instead of the whole ``add_encoded`` body.
+        """
+        if not isinstance(rows, (list, tuple)):
+            rows = list(rows)
+        if not rows:
+            return 0
+        arity = len(rows[0])
+        table = self._tables.get(relation)
+        if table is None or table.arity != arity:
+            table = self._table(relation, arity)
+        generations = table.generations
+        setdefault = table.row_ids.setdefault
+        generation = self._current_generation
+        start_id = next_id = len(generations)
+        fresh: List[Tuple[int, ...]] = []
+        fresh_append = fresh.append
+        resurrected: List[int] = []
+        for row in rows:
+            if len(row) != arity:
+                raise SchemaError(
+                    f"mixed arities in encoded batch for {relation!r}: "
+                    f"expected {arity}, got {len(row)}"
+                )
+            row_id = setdefault(row, next_id)
+            if row_id == next_id:
+                fresh_append(row)
+                next_id += 1
+            elif row_id >= start_id:
+                # A duplicate of a row first seen in this very batch —
+                # its id exists only in ``fresh`` so far.
+                continue
+            elif generations[row_id] < 0:
+                # Resurrect a tombstoned row: same id, new generation.
+                generations[row_id] = generation
+                resurrected.append(row_id)
+        added = len(fresh) + len(resurrected)
+        if not added:
+            return 0
+        if fresh:
+            columns = table.columns
+            for position in range(arity):
+                columns[position].extend(map(itemgetter(position), fresh))
+            generations.extend([generation] * len(fresh))
+        table.live_count += added
+        log = self._log_tail
+        if resurrected:
+            log.extend(zip([relation] * len(resurrected), resurrected))
+        log.extend(zip([relation] * len(fresh), range(start_id, next_id)))
+        self._version += 1
+        self._relation_versions[relation] += 1
+        live = self._live_index_keys.get(relation)
+        if live:
+            version = self._relation_versions[relation]
+            entries = list(zip(range(start_id, next_id), fresh))
+            entries.extend(
+                (row_id, table.row_values(row_id)) for row_id in resurrected
+            )
+            for key in live:
+                index = self._indexes[key]
+                positions = key[1]
+                for row_id, row in entries:
+                    index_key = tuple(row[i] for i in positions)
+                    bucket = index.get(index_key)
+                    if bucket is None:
+                        index[index_key] = [row_id]
+                    else:
+                        bucket.append(row_id)
+                self._index_versions[key] = version
+        self.kernel_stats.encoded_appends += added
+        return added
+
+    def add(self, fact: Atom) -> bool:
+        """Insert a fact (Atom surface); returns True when it was new."""
+        if not fact.is_ground():
+            raise SchemaError(f"cannot insert non-ground atom {fact}")
+        if self.schema is not None and fact.relation in self.schema:
+            self.schema.relation(fact.relation).check_fact(fact.terms)
+        elif self.schema is not None:
+            raise SchemaError(
+                f"fact {fact} does not belong to schema {self.schema.name!r}"
+            )
+        return self.add_encoded(fact.relation, self.encode_row(fact.terms))
+
+    def add_all(self, facts: Iterable[Atom]) -> int:
+        added = 0
+        for fact in facts:
+            if self.add(fact):
+                added += 1
+        return added
+
+    def ingest(self, other: "ColumnarInstance") -> int:
+        """Bulk-copy another columnar instance's live rows.
+
+        When both instances speak the same pool the rows move as raw
+        code tuples — no decode/re-encode round trip — which is how the
+        chase seeds its working instance from a materialized semantic
+        database.  Null render hints carry over; a foreign-pool instance
+        falls back to the Atom surface.  Returns how many rows were new.
+        """
+        if other.pool is not self.pool:
+            return self.add_all(other)
+        self._null_hints.update(other._null_hints)
+        added = 0
+        row_values = other.row_values
+        for relation in other.relations():
+            added += self.extend_encoded(
+                relation,
+                [
+                    row_values(relation, row_id)
+                    for row_id in other.live_row_ids(relation)
+                ],
+            )
+        return added
+
+    def add_row(self, relation: str, *values) -> bool:
+        terms = tuple(
+            v if isinstance(v, (Constant, Null)) else Constant(v) for v in values
+        )
+        return self.add(Atom(relation, terms))
+
+    def remove(self, fact: Atom) -> bool:
+        """Delete a fact; returns True when it was present."""
+        found = self._try_row_id(fact)
+        if found is None:
+            return False
+        table, row_id = found
+        table.generations[row_id] = -1
+        table.live_count -= 1
+        self._version += 1
+        self._relation_versions[fact.relation] += 1
+        self._drop_indexes(fact.relation)
+        return True
+
+    def _drop_indexes(self, relation: str) -> None:
+        for key in self._live_index_keys.pop(relation, ()):
+            self._indexes.pop(key, None)
+            self._index_versions.pop(key, None)
+
+    def bump_generation(self) -> int:
+        self._current_generation += 1
+        self._log_tail = self._insertion_log[self._current_generation]
+        return self._current_generation
+
+    # -- inspection --------------------------------------------------------
+
+    def relations(self) -> List[str]:
+        return [
+            name for name, table in self._tables.items() if table.live_count
+        ]
+
+    def live_row_ids(self, relation: str) -> List[int]:
+        """Row ids of the relation's live rows, in row-id order."""
+        table = self._tables.get(relation)
+        if table is None:
+            return []
+        generations = table.generations
+        return [i for i in range(len(generations)) if generations[i] >= 0]
+
+    def columns(self, relation: str) -> Sequence[array]:
+        table = self._tables.get(relation)
+        return table.columns if table is not None else ()
+
+    def row_values(self, relation: str, row_id: int) -> Tuple[int, ...]:
+        return self._tables[relation].row_values(row_id)
+
+    def facts(self, relation: str) -> FrozenSet[Atom]:
+        table = self._tables.get(relation)
+        if table is None:
+            return frozenset()
+        return frozenset(
+            self.decode_row(relation, row_id)
+            for row_id in self.live_row_ids(relation)
+        )
+
+    def rows_since(
+        self, generation: int, relation: Optional[str] = None
+    ) -> List[Tuple[str, int]]:
+        """(relation, row id) pairs inserted at or after ``generation``.
+
+        The encoded generation window: O(|delta|) over the insertion
+        log, filtering stale entries through each row's current
+        generation — mirroring ``Instance.facts_since``.
+        """
+        out: List[Tuple[str, int]] = []
+        seen: Set[Tuple[str, int]] = set()
+        tables = self._tables
+        for gen in range(max(generation, 0), self._current_generation + 1):
+            for entry in self._insertion_log.get(gen, ()):
+                rel, row_id = entry
+                if relation is not None and rel != relation:
+                    continue
+                if tables[rel].generations[row_id] != gen or entry in seen:
+                    continue
+                seen.add(entry)
+                out.append(entry)
+        return out
+
+    def facts_since(
+        self, generation: int, relation: Optional[str] = None
+    ) -> List[Atom]:
+        return [
+            self.decode_row(rel, row_id)
+            for rel, row_id in self.rows_since(generation, relation)
+        ]
+
+    def export_rows(
+        self, rows: Iterable[Tuple[str, int]]
+    ) -> List[Tuple[str, Tuple[int, ...]]]:
+        """(relation, encoded values) for row ids — the match-shipping
+        payload forked replicas replay via :meth:`add_encoded`."""
+        tables = self._tables
+        return [(rel, tables[rel].row_values(row_id)) for rel, row_id in rows]
+
+    def generation_of(self, fact: Atom) -> int:
+        found = self._try_row_id(fact)
+        if found is None:
+            return 0
+        table, row_id = found
+        return table.generations[row_id]
+
+    @property
+    def current_generation(self) -> int:
+        return self._current_generation
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def __contains__(self, fact: Atom) -> bool:
+        return self._try_row_id(fact) is not None
+
+    def __iter__(self) -> Iterator[Atom]:
+        for relation, table in self._tables.items():
+            generations = table.generations
+            for row_id in range(len(generations)):
+                if generations[row_id] >= 0:
+                    yield self.decode_row(relation, row_id)
+
+    def __len__(self) -> int:
+        return sum(table.live_count for table in self._tables.values())
+
+    def size(self, relation: Optional[str] = None) -> int:
+        if relation is None:
+            return len(self)
+        table = self._tables.get(relation)
+        return table.live_count if table is not None else 0
+
+    def nulls(self) -> Set[Null]:
+        out: Set[Null] = set()
+        hints = self._null_hints
+        for table in self._tables.values():
+            generations = table.generations
+            for column in table.columns:
+                for row_id, code in enumerate(column):
+                    if code < 0 and generations[row_id] >= 0:
+                        null_id = -code - 1
+                        out.add(Null(null_id, hints.get(null_id, "")))
+        return out
+
+    def is_ground_complete(self) -> bool:
+        for table in self._tables.values():
+            generations = table.generations
+            for column in table.columns:
+                for row_id, code in enumerate(column):
+                    if code < 0 and generations[row_id] >= 0:
+                        return False
+        return True
+
+    # -- encoded indexes ---------------------------------------------------
+
+    def encoded_index(
+        self, relation: str, positions: Sequence[int]
+    ) -> Mapping[Tuple[int, ...], List[int]]:
+        """Hash index: code tuples at ``positions`` -> live row ids.
+
+        Cached, lazily rebuilt on staleness, and maintained
+        incrementally by :meth:`add_encoded` once live — the build side
+        of the kernel's hash-join and anti-join probes.
+        """
+        key: _IndexKey = (relation, tuple(positions))
+        if self._index_versions.get(key) == self._relation_versions[relation]:
+            return self._indexes[key]
+        with self._index_lock:
+            if self._index_versions.get(key) == self._relation_versions[relation]:
+                return self._indexes[key]
+            built: Dict[Tuple[int, ...], List[int]] = {}
+            table = self._tables.get(relation)
+            if table is not None:
+                columns = [table.columns[i] for i in key[1]]
+                generations = table.generations
+                for row_id in range(len(generations)):
+                    if generations[row_id] < 0:
+                        continue
+                    index_key = tuple(column[row_id] for column in columns)
+                    bucket = built.get(index_key)
+                    if bucket is None:
+                        built[index_key] = [row_id]
+                    else:
+                        bucket.append(row_id)
+            self.index_builds += 1
+            self._indexes[key] = built
+            self._index_versions[key] = self._relation_versions[relation]
+            live = self._live_index_keys.setdefault(relation, [])
+            if key not in live:
+                live.append(key)
+            return built
+
+    def index(
+        self, relation: str, positions: Sequence[int]
+    ) -> Mapping[Tuple[Term, ...], List[Atom]]:
+        """Atom-level index (compatibility surface for the reference
+        evaluator and other decoded consumers; not the hot path)."""
+        key: _IndexKey = (relation, tuple(positions))
+        version = self._relation_versions[relation]
+        if self._atom_index_versions.get(key) == version:
+            return self._atom_indexes[key]
+        with self._index_lock:
+            if self._atom_index_versions.get(key) == version:
+                return self._atom_indexes[key]
+            built: Dict[Tuple[Term, ...], List[Atom]] = defaultdict(list)
+            for row_id in self.live_row_ids(relation):
+                fact = self.decode_row(relation, row_id)
+                built[tuple(fact.terms[i] for i in key[1])].append(fact)
+            self._atom_indexes[key] = built
+            self._atom_index_versions[key] = version
+            return built
+
+    def key_count(self, relation: str, positions: Sequence[int]) -> int:
+        """Distinct code-tuples at ``positions`` (planner selectivity)."""
+        key: _IndexKey = (relation, tuple(positions))
+        version = self._relation_versions[relation]
+        if self._index_versions.get(key) == version:
+            return len(self._indexes[key])
+        cached = self._key_count_cache.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        seen: Set[Tuple[int, ...]] = set()
+        table = self._tables.get(relation)
+        if table is not None:
+            columns = [table.columns[i] for i in key[1]]
+            generations = table.generations
+            for row_id in range(len(generations)):
+                if generations[row_id] >= 0:
+                    seen.add(tuple(column[row_id] for column in columns))
+        self._key_count_cache[key] = (version, len(seen))
+        return len(seen)
+
+    def cached_key_count(
+        self, relation: str, positions: Sequence[int]
+    ) -> Optional[int]:
+        key: _IndexKey = (relation, tuple(positions))
+        version = self._relation_versions[relation]
+        if self._index_versions.get(key) == version:
+            return len(self._indexes[key])
+        cached = self._key_count_cache.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        return None
+
+    # -- null handling -----------------------------------------------------
+
+    def apply_null_map(self, mapping: Mapping[Null, Term]) -> int:
+        if not mapping:
+            return 0
+        encoded = {
+            -(null.id + 1): self.encode_term(target)
+            for null, target in mapping.items()
+        }
+        return self.apply_null_map_encoded(encoded)
+
+    def apply_null_map_encoded(self, mapping: Mapping[int, int]) -> int:
+        """Replace null codes throughout; returns #rows rewritten.
+
+        O(rows x arity) integer substitution with in-place column
+        writes.  Collapse semantics are bit-compatible with
+        ``Instance.apply_null_map``: a rewritten row keeps its
+        generation; collapsing onto a live row keeps the earliest
+        generation and logs the row at it.
+        """
+        if not mapping:
+            return 0
+        rewritten = 0
+        get = mapping.get
+        for relation, table in self._tables.items():
+            columns = table.columns
+            generations = table.generations
+            hit_columns = [
+                column
+                for column in columns
+                if any(code < 0 and code in mapping for code in column)
+            ]
+            if not hit_columns:
+                continue
+            replacements: List[Tuple[int, Tuple[int, ...], int]] = []
+            for row_id in range(len(generations)):
+                generation = generations[row_id]
+                if generation < 0:
+                    continue
+                row = tuple(column[row_id] for column in columns)
+                new_row = tuple(
+                    get(code, code) if code < 0 else code for code in row
+                )
+                if new_row != row:
+                    replacements.append((row_id, new_row, generation))
+            if not replacements:
+                continue
+            # Phase 1: unregister every old row (mirrors the reference
+            # kernel removing all olds from the bucket before re-adding,
+            # so rewrites landing on another old row's key work).
+            for row_id, _new_row, _generation in replacements:
+                del table.row_ids[table.row_values(row_id)]
+            # Phase 2: rewrite in place, or collapse onto a live row.
+            for row_id, new_row, generation in replacements:
+                existing = table.row_ids.get(new_row)
+                if existing is not None and generations[existing] >= 0:
+                    kept = min(generations[existing], generation)
+                    if kept != generations[existing]:
+                        self._insertion_log[kept].append((relation, existing))
+                        generations[existing] = kept
+                    generations[row_id] = -1
+                    table.live_count -= 1
+                else:
+                    for column, code in zip(columns, new_row):
+                        column[row_id] = code
+                    table.row_ids[new_row] = row_id
+                rewritten += 1
+            self._version += 1
+            self._relation_versions[relation] += 1
+            self._drop_indexes(relation)
+        return rewritten
+
+    # -- copies / conversion -----------------------------------------------
+
+    def copy(self) -> "ColumnarInstance":
+        clone = ColumnarInstance(self.schema, self.pool)
+        for relation, table in self._tables.items():
+            clone._tables[relation] = table.copy()
+        for generation, entries in self._insertion_log.items():
+            clone._insertion_log[generation] = list(entries)
+        clone._current_generation = self._current_generation
+        clone._log_tail = clone._insertion_log[clone._current_generation]
+        clone._version = self._version
+        clone._null_hints = dict(self._null_hints)
+        return clone
+
+    def restricted_to(self, relations: Iterable[str]) -> "ColumnarInstance":
+        keep = set(relations)
+        clone = ColumnarInstance(pool=self.pool)
+        for relation in keep:
+            table = self._tables.get(relation)
+            if table is None:
+                continue
+            for row_id in self.live_row_ids(relation):
+                clone.add_encoded(relation, table.row_values(row_id))
+        clone._null_hints = dict(self._null_hints)
+        return clone
+
+    def to_atoms(self) -> List[Atom]:
+        return list(self)
+
+    def _fact_sets(self) -> Dict[str, FrozenSet[Atom]]:
+        return {
+            relation: self.facts(relation)
+            for relation, table in self._tables.items()
+            if table.live_count
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ColumnarInstance):
+            return self._fact_sets() == other._fact_sets()
+        # Cross-kernel comparison (Instance.__eq__ returns
+        # NotImplemented for us, so Python reflects here).
+        if hasattr(other, "_facts"):
+            theirs = {
+                r: frozenset(b)
+                for r, b in other._facts.items()  # type: ignore[union-attr]
+                if b
+            }
+            return self._fact_sets() == theirs
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - instances are mutable
+        raise TypeError("ColumnarInstance is unhashable")
+
+    def __str__(self) -> str:
+        lines = []
+        for relation in sorted(self._tables):
+            bucket = self.facts(relation)
+            if not bucket:
+                continue
+            lines.append(f"{relation} ({len(bucket)} facts)")
+            for fact in sorted(bucket, key=str)[:20]:
+                lines.append(f"  {fact}")
+            if len(bucket) > 20:
+                lines.append(f"  ... {len(bucket) - 20} more")
+        return "\n".join(lines) if lines else "(empty instance)"
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarInstance({len(self)} facts, "
+            f"{len(self.relations())} relations)"
+        )
+
+    def probe_view(self) -> ProbeView:
+        return ProbeView(self)

@@ -56,7 +56,8 @@ from repro.errors import TypingError, UnsafeDependencyError
 from repro.logic.atoms import Atom, Comparison, Conjunction
 from repro.logic.substitution import Substitution
 from repro.logic.terms import Term, Variable
-from repro.relational.instance import Instance
+from repro.relational.instance import Instance, ProbeView
+from repro.relational.kernel import ColumnarInstance, TermPool
 
 __all__ = [
     "CompiledQuery",
@@ -70,6 +71,23 @@ __all__ = [
 ]
 
 Binding = Dict[Variable, Term]
+
+
+def _columnar_store(instance):
+    """The encoded probe surface behind ``instance``, or None.
+
+    Accepts a bare :class:`ColumnarInstance` or a :class:`ProbeView`
+    over one (the view delegates the encoded surface); everything else —
+    including a ProbeView over a set-based Instance — evaluates through
+    the decoded Atom pipeline.
+    """
+    if isinstance(instance, ColumnarInstance):
+        return instance
+    if isinstance(instance, ProbeView) and isinstance(
+        instance._instance, ColumnarInstance
+    ):
+        return instance
+    return None
 
 
 def _resolve(term: Term, binding: Binding) -> Optional[Term]:
@@ -135,6 +153,248 @@ class _Step:
         self.comparisons = comparisons
 
 
+class _EncodedStep:
+    """A join step lowered onto the columnar kernel.
+
+    ``key_parts`` are (is_slot, value) pairs: a slot read for bound
+    variables, a pre-interned code for literals.  ``binds`` write column
+    values into slots; ``checks`` compare two columns of the probed row;
+    ``comparisons`` are compiled closures over the slot array.
+    """
+
+    __slots__ = ("relation", "positions", "key_parts", "binds", "checks", "comparisons")
+
+    def __init__(self, step: _Step, slot_of, pool: TermPool) -> None:
+        self.relation = step.relation
+        self.positions = step.positions
+        self.key_parts = tuple(
+            (True, slot_of[t]) if isinstance(t, Variable) else (False, pool.encode(t))
+            for t in step.key_terms
+        )
+        self.binds = tuple((p, slot_of[v]) for p, v in step.binds)
+        self.checks = step.checks
+        self.comparisons = tuple(
+            _compile_comparison(c, slot_of, pool) for c in step.comparisons
+        )
+
+
+def _compile_comparison(comparison: Comparison, slot_of, pool: TermPool):
+    """A comparison as a closure over the encoded slot array.
+
+    Decodes the (at most two) operands and delegates to the decoded
+    ground check, so typing semantics (nulls never order) are shared
+    with the reference pipeline by construction.
+    """
+    decode = pool.decode
+    left, right = comparison.left, comparison.right
+    left_slot = slot_of[left] if isinstance(left, Variable) else None
+    right_slot = slot_of[right] if isinstance(right, Variable) else None
+    op = comparison.op
+
+    def check(values) -> bool:
+        ground = Comparison(
+            op,
+            left if left_slot is None else decode(values[left_slot]),
+            right if right_slot is None else decode(values[right_slot]),
+        )
+        try:
+            return ground.evaluate()
+        except TypingError:
+            return False
+
+    return check
+
+
+class _EncodedPlan:
+    """A :class:`CompiledQuery` lowered onto one term pool.
+
+    Bindings become fixed-width slot arrays over ``varlist`` (the
+    query's bound and fresh variables in name order — the same order the
+    chase's canonical trigger/varlist sorting uses), join keys become
+    tuples of ints probing :meth:`ColumnarInstance.encoded_index`, and
+    negations become pre-filled recursive encoded plans.  The decoded
+    and encoded pipelines share the compile (join order, schedules), so
+    they enumerate the same matches by construction — the differential
+    suite then checks the construction.
+    """
+
+    __slots__ = (
+        "query",
+        "pool",
+        "varlist",
+        "slot_of",
+        "width",
+        "steps",
+        "seed_comparisons",
+        "negations",
+        "_single_probe",
+        "_fill_cache",
+    )
+
+    def __init__(self, query: "CompiledQuery", pool: TermPool) -> None:
+        self.query = query
+        self.pool = pool
+        self.varlist: Tuple[Variable, ...] = tuple(
+            sorted(query.bound | query._fresh)
+        )
+        self.slot_of: Dict[Variable, int] = {
+            v: i for i, v in enumerate(self.varlist)
+        }
+        self.width = len(self.varlist)
+        self.seed_comparisons = tuple(
+            _compile_comparison(c, self.slot_of, pool)
+            for c in query.seed_comparisons
+        )
+        self.steps = tuple(
+            _EncodedStep(step, self.slot_of, pool) for step in query.steps
+        )
+        # Each negation evaluates as not-exists of an encoded sub-plan
+        # seeded with every outer variable (mirroring _finalize, which
+        # seeds the full binding), so the compile-cache key matches the
+        # decoded path's and the same inner plan object serves both.
+        outer = frozenset(self.varlist)
+        negations = []
+        for negation in query.negations:
+            inner = compile_query(negation.inner, outer).encoded(pool)
+            fill = tuple(
+                (inner.slot_of[v], slot) for v, slot in self.slot_of.items()
+            )
+            negations.append((inner, fill))
+        self.negations = tuple(negations)
+        self._single_probe = query._single_probe
+        # outer-varlist tuple -> ((inner slot, outer row index), ...) for
+        # correlated probes from the chase (satisfaction checks).
+        self._fill_cache: Dict[Tuple[Variable, ...], Tuple[Tuple[int, int], ...]] = {}
+
+    def fill_for(
+        self, outer_varlist: Tuple[Variable, ...]
+    ) -> Tuple[Tuple[int, int], ...]:
+        """How to seed this plan from a row aligned to ``outer_varlist``."""
+        fill = self._fill_cache.get(outer_varlist)
+        if fill is None:
+            fill = tuple(
+                (self.slot_of[v], i)
+                for i, v in enumerate(outer_varlist)
+                if v in self.slot_of
+            )
+            self._fill_cache[outer_varlist] = fill
+        return fill
+
+    # -- evaluation --------------------------------------------------------
+
+    def rows(
+        self,
+        store,
+        seed_values: Iterable[Tuple[int, int]] = (),
+        delta: Optional[Set[int]] = None,
+    ) -> Iterator[Tuple[int, ...]]:
+        """Lazily yield result rows (code tuples aligned to ``varlist``).
+
+        ``seed_values`` are (slot, code) pairs for the query's bound
+        variables; ``delta`` restricts the first join step to the given
+        row ids.  Consumers that mutate the store while iterating must
+        materialize first (the chase does).
+        """
+        values = [0] * self.width
+        for slot, code in seed_values:
+            values[slot] = code
+        for check in self.seed_comparisons:
+            if not check(values):
+                return
+        stream: Iterator[List[int]] = iter((values,))
+        for step_index, step in enumerate(self.steps):
+            stream = self._join(
+                stream, step, store, delta if step_index == 0 else None
+            )
+        yield from self._finalize(stream, store)
+
+    def _join(
+        self,
+        stream: Iterator[List[int]],
+        step: _EncodedStep,
+        store,
+        delta: Optional[Set[int]],
+    ) -> Iterator[List[int]]:
+        index = store.encoded_index(step.relation, step.positions)
+        lookup = index.get
+        columns = store.columns(step.relation)
+        key_parts = step.key_parts
+        binds = step.binds
+        checks = step.checks
+        comparisons = step.comparisons
+        stats = store.kernel_stats
+        for values in stream:
+            key = tuple(values[v] if s else v for s, v in key_parts)
+            rows = lookup(key)
+            if not rows:
+                continue
+            if delta is not None:
+                rows = [r for r in rows if r in delta]
+                if not rows:
+                    continue
+            stats.probe_rows += len(rows)
+            for row_id in rows:
+                ok = True
+                for position, bound_at in checks:
+                    if columns[position][row_id] != columns[bound_at][row_id]:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                extended = values[:]
+                for position, slot in binds:
+                    extended[slot] = columns[position][row_id]
+                for check in comparisons:
+                    if not check(extended):
+                        ok = False
+                        break
+                if ok:
+                    yield extended
+
+    def _finalize(
+        self, stream: Iterator[List[int]], store
+    ) -> Iterator[Tuple[int, ...]]:
+        unscheduled = self.query.unscheduled
+        negations = self.negations
+        for values in stream:
+            if unscheduled:
+                raise UnsafeDependencyError(
+                    f"comparisons {list(unscheduled)} have unbound "
+                    f"variables in {self.query.body}"
+                )
+            ok = True
+            for inner, fill in negations:
+                if inner.exists_filled(store, fill, values):
+                    ok = False
+                    break
+            if ok:
+                yield tuple(values)
+
+    def exists_filled(self, store, fill, outer_values) -> bool:
+        """Not-exists probe seeded from an outer slot array via ``fill``
+        ((inner slot, outer index) pairs)."""
+        values = [0] * self.width
+        for inner_slot, outer_index in fill:
+            values[inner_slot] = outer_values[outer_index]
+        return self.exists_values(store, values)
+
+    def exists_values(self, store, values) -> bool:
+        """Whether at least one row extends the pre-filled slot array."""
+        for check in self.seed_comparisons:
+            if not check(values):
+                return False
+        if self._single_probe:
+            step = self.steps[0]
+            key = tuple(values[v] if s else v for s, v in step.key_parts)
+            return key in store.encoded_index(step.relation, step.positions)
+        stream: Iterator[List[int]] = iter((values,))
+        for step in self.steps:
+            stream = self._join(stream, step, store, None)
+        for _ in self._finalize(stream, store):
+            return True
+        return False
+
+
 class CompiledQuery:
     """A conjunction compiled against a set of statically-bound variables.
 
@@ -158,6 +418,7 @@ class CompiledQuery:
         "negations",
         "_fresh",
         "_single_probe",
+        "_encoded",
     )
 
     def __init__(
@@ -267,6 +528,17 @@ class CompiledQuery:
             and not self.steps[0].checks
             and not self.steps[0].comparisons
         )
+        # Lazily-lowered columnar twin of this plan (pool-specific).
+        self._encoded: Optional[_EncodedPlan] = None
+
+    def encoded(self, pool: TermPool) -> _EncodedPlan:
+        """This plan lowered onto ``pool`` (cached; rebuilt only if a
+        different pool shows up, which only tests do)."""
+        plan = self._encoded
+        if plan is None or plan.pool is not pool:
+            plan = _EncodedPlan(self, pool)
+            self._encoded = plan
+        return plan
 
     # -- evaluation --------------------------------------------------------
 
@@ -282,6 +554,9 @@ class CompiledQuery:
         anchor of a delta-evaluation plan).  Consumers that mutate the
         instance while iterating must materialize first; the chase does.
         """
+        store = _columnar_store(instance)
+        if store is not None and not _REFERENCE_MODE:
+            return self._bindings_columnar(store, seed, delta)
         binding: Binding = dict(seed) if seed else {}
         if binding and not self._fresh.isdisjoint(binding):
             raise UnsafeDependencyError(
@@ -356,8 +631,57 @@ class CompiledQuery:
             ):
                 yield binding
 
+    def _seed_values(self, store, plan: _EncodedPlan, seed: Optional[Binding]):
+        """Encode a decoded seed as (slot, code) pairs, with the same
+        fresh-variable safety check as the decoded pipeline."""
+        if not seed:
+            return ()
+        if not self._fresh.isdisjoint(seed):
+            raise UnsafeDependencyError(
+                f"seed binds {sorted(v.name for v in self._fresh & seed.keys())} "
+                f"which this plan was compiled to treat as fresh; recompile "
+                f"with the seed's variables in `bound`"
+            )
+        encode = store.encode_term
+        slot_of = plan.slot_of
+        return [(slot_of[v], encode(t)) for v, t in seed.items()]
+
+    def _bindings_columnar(
+        self,
+        store,
+        seed: Optional[Binding],
+        delta: Optional[Set[Atom]],
+    ) -> Iterator[Binding]:
+        """Decoded-surface evaluation over the columnar kernel: encode
+        the seed (and delta facts) at the edge, run the encoded plan,
+        decode result rows back to bindings."""
+        plan = self.encoded(store.pool)
+        seed_values = self._seed_values(store, plan, seed)
+        delta_rows: Optional[Set[int]] = None
+        if delta is not None:
+            delta_rows = set()
+            if self.steps:
+                first_relation = self.steps[0].relation
+                row_id_of = store.row_id_of
+                for fact in delta:
+                    if fact.relation == first_relation:
+                        row_id = row_id_of(fact)
+                        if row_id is not None:
+                            delta_rows.add(row_id)
+        varlist = plan.varlist
+        decode = store.decode_term
+        for row in plan.rows(store, seed_values, delta_rows):
+            yield {v: decode(code) for v, code in zip(varlist, row)}
+
     def exists(self, instance: Instance, seed: Optional[Binding] = None) -> bool:
         """Whether at least one binding exists — stops at the first match."""
+        store = _columnar_store(instance)
+        if store is not None and not _REFERENCE_MODE:
+            plan = self.encoded(store.pool)
+            values = [0] * plan.width
+            for slot, code in self._seed_values(store, plan, seed):
+                values[slot] = code
+            return plan.exists_values(store, values)
         if self._single_probe:
             binding = seed or {}
             if binding and not self._fresh.isdisjoint(binding):

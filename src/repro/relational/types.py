@@ -14,7 +14,28 @@ from typing import Union
 from repro.errors import TypingError
 from repro.logic.terms import Constant, Null, Term
 
-__all__ = ["DataType", "check_value", "check_term", "parse_literal"]
+__all__ = [
+    "DataType",
+    "check_value",
+    "check_term",
+    "parse_literal",
+    "term_order_key",
+]
+
+
+def term_order_key(term: Term):
+    """Canonical sort key over ground terms.
+
+    Nulls sort after constants, by numeric id — so "smaller null id wins"
+    when egds orient unifications, which is what makes canonical null
+    renaming deterministic.  Constants sort by ``repr``.  This single
+    definition is shared by the chase engine's enforcement order and the
+    columnar kernel's interning pool (which caches the key per code so
+    encoded rows sort identically to decoded bindings).
+    """
+    if isinstance(term, Null):
+        return (1, term.id, "")
+    return (0, 0, repr(term))
 
 
 class DataType(enum.Enum):

@@ -135,6 +135,17 @@ def batch_summary_table(report: "BatchReport") -> Table:
             f"{phase} p50/p99 s",
             f"{digest['p50']:.4f}/{digest['p99']:.4f}",
         )
+    if summary.kernel_metrics:
+        kernel = summary.kernel_metrics
+        parts = [
+            f"{name.split('.', 1)[1]}={int(kernel[name])}"
+            for name in sorted(kernel)
+            if name.startswith("kernel.")
+        ]
+        if parts:
+            table.add("kernel", ", ".join(parts))
+        if "instance.intern_size" in kernel:
+            table.add("intern pool peak", int(kernel["instance.intern_size"]))
     table.add("wall seconds", summary.wall_seconds)
     table.add("scenarios/sec", summary.scenarios_per_second)
     if report.note:

@@ -273,7 +273,10 @@ def _execute(
     if recorder.enabled:
         payload = recorder.to_payload()
         record.trace = payload
+        # Counters plus gauges (e.g. ``instance.intern_size``): the
+        # names are disjoint, so one flat dict serves batch summaries.
         record.metrics = dict(payload["metrics"].get("counters", {}))
+        record.metrics.update(payload["metrics"].get("gauges", {}))
     return record
 
 

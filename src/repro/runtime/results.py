@@ -168,6 +168,10 @@ class BatchSummary:
     phase_latencies: Dict[str, Dict[str, float]] = field(default_factory=dict)
     """Per-phase (build/rewrite/chase/total) latency digests over the
     run's task records: ``{"p50": ..., "p99": ..., "sum": ...}``."""
+    kernel_metrics: Dict[str, float] = field(default_factory=dict)
+    """Columnar-kernel totals over the run's traced records: summed
+    ``kernel.*`` counters plus the peak ``instance.intern_size`` gauge.
+    Empty when the batch ran untraced."""
 
     @property
     def cache_hit_rate(self) -> float:
@@ -245,6 +249,15 @@ def summarize(
         phase_samples["rewrite"].append(record.rewrite_seconds)
         phase_samples["chase"].append(record.chase_seconds)
         phase_samples["total"].append(record.total_seconds)
+        if record.metrics:
+            kernel = summary.kernel_metrics
+            for name, value in record.metrics.items():
+                if name.startswith("kernel."):
+                    kernel[name] = kernel.get(name, 0) + value
+                elif name == "instance.intern_size":
+                    # A gauge: the pool is global per process, so the
+                    # batch-level figure is the peak, not a sum.
+                    kernel[name] = max(kernel.get(name, 0), value)
     for phase, samples in phase_samples.items():
         if samples:
             summary.phase_latencies[phase] = {
