@@ -8,12 +8,13 @@ seeded random digraph, the classical enumeration-bound shape (large
 intermediate fan-out, few final matches) — serial and sharded, asserts
 the results are bit-identical, and measures the speedup.
 
-CI runs the quick sizes and asserts sharded ≥ 1.5× serial at the
-largest one with 4 workers (skipped below 4 usable CPUs, where the
-sharded run cannot physically beat serial).
+CI runs the quick sizes and gates the speedup at the largest one: the
+1.5× floor assumes all 4 workers get a core, so it scales by
+``min(workers, cpus) / workers`` and is skipped (with an explicit log
+line) below 2 usable CPUs, where the sharded run cannot physically
+beat serial — the determinism half is always asserted.
 """
 
-import os
 import time
 
 from repro.chase.engine import ChaseConfig, StandardChase
@@ -23,7 +24,12 @@ from repro.logic.terms import Constant, Variable
 from repro.relational.instance import Instance
 from repro.reporting import Table
 
-from conftest import print_experiment_table, quick_mode, record_bench_json
+from conftest import (
+    parallel_speedup_gate,
+    print_experiment_table,
+    quick_mode,
+    record_bench_json,
+)
 
 WORKERS = 4
 SPEEDUP_FLOOR = 1.5
@@ -81,7 +87,9 @@ def test_report_e11():
          "speedup", "mode"],
     )
     sizes = QUICK_SIZES if quick_mode() else SIZES
-    cpus = os.cpu_count() or 1
+    cpus, effective_workers, floor = parallel_speedup_gate(
+        WORKERS, SPEEDUP_FLOOR
+    )
     by_size = {}
     last = None
     for nodes, edges in sizes:
@@ -117,15 +125,24 @@ def test_report_e11():
             "quick": quick_mode(),
             "workers": WORKERS,
             "cpus": cpus,
-            "speedup_asserted": cpus >= WORKERS,
+            "effective_workers": effective_workers,
+            "speedup_floor": floor,
+            "speedup_asserted": floor is not None,
             "by_size": by_size,
         },
     )
-    # The speedup claim needs the workers to actually run in parallel;
-    # below 4 usable CPUs the sharded chase degrades gracefully (same
+    # The speedup claim needs at least two workers actually running in
+    # parallel; below that the sharded chase degrades gracefully (same
     # results, no speedup), so only the determinism half is asserted.
-    if cpus >= WORKERS:
-        assert last >= SPEEDUP_FLOOR, (
+    if floor is None:
+        print(
+            f"e11 speedup gate SKIPPED: {cpus} usable CPU(s) < 2, the "
+            f"sharded chase cannot beat serial here (measured "
+            f"{last:.2f}x; determinism still asserted)"
+        )
+    else:
+        assert last >= floor, (
             f"sharded chase only {last:.2f}x serial at the largest size "
-            f"(wanted >= {SPEEDUP_FLOOR}x with {WORKERS} workers)"
+            f"(wanted >= {floor:.2f}x with {effective_workers} of "
+            f"{WORKERS} workers on {cpus} CPUs)"
         )

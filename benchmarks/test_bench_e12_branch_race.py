@@ -13,12 +13,12 @@ speedup.
 This experiment runs the sweep serial and raced (process:4), asserts
 the results are **bit-identical** — same winning selection, same
 scenarios_tried, same target, same aggregate counters — and measures
-the speedup.  CI runs the quick sizes and asserts raced ≥ 1.5× serial
-at the largest one with 4 workers (skipped below 4 usable CPUs, where
-the race cannot physically beat serial).
+the speedup.  CI runs the quick sizes and gates the speedup at the
+largest one; the 1.5× floor scales by ``min(workers, cpus) / workers``
+and is skipped (with an explicit log line) below 2 usable CPUs, where
+the race cannot physically beat serial.
 """
 
-import os
 import time
 
 from repro.chase.ded import GreedyDedChase
@@ -29,7 +29,12 @@ from repro.logic.terms import Constant, Variable
 from repro.relational.instance import Instance
 from repro.reporting import Table
 
-from conftest import print_experiment_table, quick_mode, record_bench_json
+from conftest import (
+    parallel_speedup_gate,
+    print_experiment_table,
+    quick_mode,
+    record_bench_json,
+)
 
 WORKERS = 4
 SPEEDUP_FLOOR = 1.5
@@ -103,7 +108,9 @@ def test_report_e12():
          "speedup", "racing"],
     )
     sizes = QUICK_SIZES if quick_mode() else SIZES
-    cpus = os.cpu_count() or 1
+    cpus, effective_workers, floor = parallel_speedup_gate(
+        WORKERS, SPEEDUP_FLOOR
+    )
     by_size = {}
     last = None
     for nodes, edges in sizes:
@@ -144,16 +151,25 @@ def test_report_e12():
             "quick": quick_mode(),
             "workers": WORKERS,
             "cpus": cpus,
+            "effective_workers": effective_workers,
+            "speedup_floor": floor,
             "deds": DEDS,
-            "speedup_asserted": cpus >= WORKERS,
+            "speedup_asserted": floor is not None,
             "by_size": by_size,
         },
     )
-    # The speedup claim needs the workers to actually run in parallel;
-    # below 4 usable CPUs the race degrades gracefully (same results,
+    # The speedup claim needs at least two workers actually racing in
+    # parallel; below that the race degrades gracefully (same results,
     # no speedup), so only the determinism half is asserted.
-    if cpus >= WORKERS:
-        assert last >= SPEEDUP_FLOOR, (
+    if floor is None:
+        print(
+            f"e12 speedup gate SKIPPED: {cpus} usable CPU(s) < 2, the "
+            f"branch race cannot beat serial here (measured "
+            f"{last:.2f}x; determinism still asserted)"
+        )
+    else:
+        assert last >= floor, (
             f"branch race only {last:.2f}x serial at the largest size "
-            f"(wanted >= {SPEEDUP_FLOOR}x with {WORKERS} workers)"
+            f"(wanted >= {floor:.2f}x with {effective_workers} of "
+            f"{WORKERS} workers on {cpus} CPUs)"
         )

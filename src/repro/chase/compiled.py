@@ -235,15 +235,20 @@ class CompiledDependency:
         self, working, delta_rows: Optional[RowDelta]
     ) -> List[Tuple[int, ...]]:
         """Encoded premise bindings as code rows aligned to
-        :attr:`premise_varlist`, optionally delta-restricted."""
+        :attr:`premise_varlist`, optionally delta-restricted.
+        ``delta_rows`` values may be row-id sets or the engine's
+        per-round :class:`~repro.relational.kernel.RowMask` windows —
+        the block probes restrict index buckets through either."""
         if delta_rows is None:
             return self._premise.matches_encoded(working)
         return self._premise.delta_matches_encoded(working, delta_rows)
 
     def anchor_matches_encoded(
-        self, working, anchor_index: int, restrict: Set[int]
+        self, working, anchor_index: int, restrict
     ) -> List[Tuple[int, ...]]:
-        """Encoded twin of :meth:`anchor_matches` over row-id shards."""
+        """Encoded twin of :meth:`anchor_matches` over row-id shards
+        (sharder chunks arrive as plain sets; the encoded plan wraps
+        them as masks before probing)."""
         return self._premise.anchor_matches_encoded(working, anchor_index, restrict)
 
     def warm_enumeration_plans(self, working: Instance) -> None:

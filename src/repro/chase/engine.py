@@ -58,7 +58,7 @@ from repro.logic.atoms import Atom
 from repro.logic.dependencies import Dependency, Disjunct
 from repro.logic.terms import Null, NullFactory, Term, Variable
 from repro.relational import query as _query
-from repro.relational.delta import RowDelta, group_rows
+from repro.relational.delta import RowDelta, group_rows, mask_rows
 from repro.relational.instance import Instance
 from repro.relational.kernel import ColumnarInstance
 from repro.relational.types import term_order_key
@@ -568,6 +568,7 @@ class StandardChase:
             rec.count("kernel.interned_terms", len(working.pool) - kernel_mark)
             rec.count("kernel.encoded_appends", kernel_stats.encoded_appends)
             rec.count("kernel.probe_rows", kernel_stats.probe_rows)
+            rec.count("kernel.probe_survivors", kernel_stats.probe_survivors)
             rec.gauge("instance.intern_size", len(working.pool))
 
     # -- internals ----------------------------------------------------------------
@@ -674,9 +675,15 @@ class StandardChase:
             if new_count == 0 and rewrites_this_round == 0:
                 return
             # Null rewrites change fact identity, so the delta bookkeeping
-            # is unreliable: fall back to a full round.
+            # is unreliable: fall back to a full round.  Masks are built
+            # once here and shared by every dependency's anchored probes
+            # this round (span/contiguity precomputed once per relation).
             if encoded:
-                delta_rows = None if rewrites_this_round else group_rows(new_rows)
+                delta_rows = (
+                    None
+                    if rewrites_this_round
+                    else mask_rows(group_rows(new_rows))
+                )
             else:
                 delta = None if rewrites_this_round else new_facts
             since = None if rewrites_this_round else generation

@@ -55,6 +55,7 @@ from repro.relational.delta import (
     GenerationWindow,
     PlanCache,
     group_rows,
+    mask_rows,
 )
 from repro.relational.instance import Instance
 from repro.relational.kernel import ColumnarInstance
@@ -315,7 +316,9 @@ class SemanticDatabase:
                 rows = window.advance_rows()
                 if not rows:
                     return
-                delta = group_rows(rows)
+                # One mask per relation per pass, shared by every rule
+                # this component fires against the window.
+                delta = mask_rows(group_rows(rows))
                 delta_relations = set(delta)
                 delta_count = len(rows)
             else:

@@ -54,7 +54,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from repro.logic.atoms import Atom, Conjunction
 from repro.logic.terms import Term, Variable
 from repro.relational.instance import Instance
-from repro.relational.kernel import ColumnarInstance
+from repro.relational.kernel import ColumnarInstance, RowMask
 from repro.relational import query as _query
 from repro.relational.query import (
     Binding,
@@ -64,7 +64,13 @@ from repro.relational.query import (
     exists,
 )
 
-__all__ = ["PlanCache", "DeltaPlans", "GenerationWindow", "group_rows"]
+__all__ = [
+    "PlanCache",
+    "DeltaPlans",
+    "GenerationWindow",
+    "group_rows",
+    "mask_rows",
+]
 
 #: Encoded delta: relation -> set of row ids inserted this window.
 RowDelta = Dict[str, Set[int]]
@@ -76,6 +82,21 @@ def group_rows(rows: Iterable[Tuple[str, int]]) -> RowDelta:
     for relation, row_id in rows:
         grouped.setdefault(relation, set()).add(row_id)
     return grouped
+
+
+def mask_rows(delta_rows: RowDelta) -> Dict[str, RowMask]:
+    """Wrap an encoded delta's row-id sets as :class:`RowMask` windows.
+
+    A mask precomputes its span/contiguity once, so every anchored probe
+    in the pass restricts index buckets by identity or bisect slice
+    instead of per-row membership — build the masks once per round (or
+    fixpoint pass) and hand the dict to every plan that evaluates
+    against that delta.
+    """
+    return {
+        relation: rows if isinstance(rows, RowMask) else RowMask(rows)
+        for relation, rows in delta_rows.items()
+    }
 
 
 class PlanCache:
@@ -320,7 +341,10 @@ class DeltaPlans:
     def matches_encoded(self, store) -> List[Tuple[int, ...]]:
         """All result rows as code tuples (no Atom or dict objects)."""
         plan = self._cache.plan((self._key, "full"), self.body, self.bound, store)
-        return list(plan.encoded(store.pool).rows(store))
+        out: List[Tuple[int, ...]] = []
+        for block in plan.encoded(store.pool).blocks(store):
+            out += block
+        return out
 
     def delta_matches_encoded(
         self, store, delta_rows: RowDelta
@@ -328,15 +352,24 @@ class DeltaPlans:
         """Encoded semi-naive join: rows touching at least one delta row,
         deduplicated across anchors by raw row tuple (the row is the
         binding, in varlist order, so tuple equality is binding
-        equality)."""
+        equality).  ``delta_rows`` values may be row-id sets or
+        pre-built :class:`RowMask` windows (see :func:`mask_rows`);
+        sets are wrapped here, once per relation, shared across a
+        self-join's anchors."""
         if not self.body.atoms:
             return self.matches_encoded(store)
+        masks: Dict[str, RowMask] = {}
         out: List[Tuple[int, ...]] = []
         seen: Set[Tuple[int, ...]] = set()
         for anchor_index, anchor in enumerate(self.body.atoms):
-            rows = delta_rows.get(anchor.relation)
-            if not rows:
-                continue
+            rows = masks.get(anchor.relation)
+            if rows is None:
+                rows = delta_rows.get(anchor.relation)
+                if not rows:
+                    continue
+                if not isinstance(rows, RowMask):
+                    rows = RowMask(rows)
+                masks[anchor.relation] = rows
             plan = self._cache.plan(
                 (self._key, "anchor", anchor_index),
                 self.body,
@@ -344,17 +377,24 @@ class DeltaPlans:
                 store,
                 first_atom=anchor_index,
             )
-            for row in plan.encoded(store.pool).rows(store, delta=rows):
-                if row not in seen:
-                    seen.add(row)
-                    out.append(row)
+            add = seen.add
+            append = out.append
+            for block in plan.encoded(store.pool).blocks(store, delta=rows):
+                for row in block:
+                    if row not in seen:
+                        add(row)
+                        append(row)
         return out
 
     def anchor_matches_encoded(
-        self, store, anchor_index: int, restrict: Set[int]
+        self, store, anchor_index: int, restrict
     ) -> List[Tuple[int, ...]]:
         """One shard of :meth:`delta_matches_encoded` (no cross-anchor
-        dedup — the merging caller owns it, as in :meth:`anchor_matches`)."""
+        dedup — the merging caller owns it, as in :meth:`anchor_matches`).
+
+        ``restrict`` is a row-id set or a pre-built :class:`RowMask`
+        (sharder chunks arrive as sets and are wrapped by the encoded
+        plan)."""
         plan = self._cache.plan(
             (self._key, "anchor", anchor_index),
             self.body,
@@ -362,7 +402,10 @@ class DeltaPlans:
             store,
             first_atom=anchor_index,
         )
-        return list(plan.encoded(store.pool).rows(store, delta=restrict))
+        out: List[Tuple[int, ...]] = []
+        for block in plan.encoded(store.pool).blocks(store, delta=restrict):
+            out += block
+        return out
 
     def exists_encoded(
         self, store, outer_varlist: Tuple[Variable, ...], row: Tuple[int, ...]

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import threading
 from array import array
+from bisect import bisect_left, bisect_right, insort
 from collections import defaultdict
 from operator import itemgetter
 from typing import (
@@ -63,6 +64,7 @@ from repro.relational.types import term_order_key
 __all__ = [
     "TermPool",
     "ColumnarInstance",
+    "RowMask",
     "global_pool",
     "encode_null",
     "null_id_of",
@@ -188,14 +190,95 @@ def global_pool() -> TermPool:
     return _GLOBAL_POOL
 
 
-class _KernelStats:
-    """Mutable per-instance kernel counters (flight-recorder harvest)."""
+class RowMask:
+    """A delta window over row ids, shaped for *block* restriction.
 
-    __slots__ = ("encoded_appends", "probe_rows")
+    The innermost operation of an anchored delta probe is restricting an
+    index bucket (a sorted list of row ids) to the round's delta window.
+    Doing that per row (``[r for r in bucket if r in delta]``) allocates
+    a fresh list per probe key even when the window covers the whole
+    bucket — the e2 hot path, where a delta round probes exactly the
+    rows it just inserted.  A mask precomputes the window's span and
+    contiguity once per probe plan so each bucket restriction is:
+
+    * the **bucket itself** (no copy, no scan) when a contiguous window
+      covers it entirely;
+    * a single **bisect slice** when a contiguous window covers part of
+      it (fresh rows are appended in row-id order, so a generation
+      window without resurrections is always one integer range);
+    * one span-bounded membership pass for sparse windows (resurrected
+      rows, hash-partitioned shard chunks).
+
+    Requires the sorted-bucket invariant :meth:`ColumnarInstance.
+    encoded_index` maintains.  Masks iterate and size like the row-id
+    set they wrap, so sharders can partition them unchanged.
+    """
+
+    __slots__ = ("lo", "hi", "contiguous", "_members")
+
+    def __init__(self, row_ids) -> None:
+        members = row_ids if isinstance(row_ids, (set, frozenset)) else set(row_ids)
+        self._members = members
+        if not members:
+            self.lo, self.hi = 0, -1
+            self.contiguous = True
+            return
+        self.lo = min(members)
+        self.hi = max(members)
+        self.contiguous = (self.hi - self.lo + 1) == len(members)
+
+    def __contains__(self, row_id: int) -> bool:
+        return row_id in self._members
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def restrict(self, bucket: Sequence[int]) -> Sequence[int]:
+        """The sub-sequence of a sorted ``bucket`` inside the window.
+
+        Returns ``bucket`` itself (same object — callers must not
+        mutate) when the window covers it entirely, an empty tuple when
+        they are disjoint, and a fresh list otherwise.
+        """
+        if not bucket:
+            return ()
+        lo, hi = self.lo, self.hi
+        if bucket[-1] < lo or bucket[0] > hi:
+            return ()
+        start = bisect_left(bucket, lo) if bucket[0] < lo else 0
+        stop = bisect_right(bucket, hi) if bucket[-1] > hi else len(bucket)
+        if self.contiguous:
+            if start == 0 and stop == len(bucket):
+                return bucket
+            return bucket[start:stop] if stop > start else ()
+        members = self._members
+        window = bucket if start == 0 and stop == len(bucket) else bucket[start:stop]
+        filtered = [r for r in window if r in members]
+        if len(filtered) == len(bucket):
+            return bucket
+        return filtered
+
+
+class _KernelStats:
+    """Mutable per-instance kernel counters (flight-recorder harvest).
+
+    ``probe_rows`` counts candidate rows a join probe touched (index
+    bucket survivors of the delta restriction); ``probe_survivors``
+    counts the rows that passed the step's equality checks and
+    comparison filters and were actually materialized downstream.  The
+    two diverge on self-joins and filtered probes — splitting them is
+    what lets ``grom profile`` show probe selectivity honestly.
+    """
+
+    __slots__ = ("encoded_appends", "probe_rows", "probe_survivors")
 
     def __init__(self) -> None:
         self.encoded_appends = 0
         self.probe_rows = 0
+        self.probe_survivors = 0
 
 
 class _Table:
@@ -432,8 +515,13 @@ class ColumnarInstance:
                 bucket = index.get(index_key)
                 if bucket is None:
                     index[index_key] = [row_id]
-                else:
+                elif row_id > bucket[-1]:
                     bucket.append(row_id)
+                else:
+                    # Resurrected rows carry their original (smaller)
+                    # id; insort keeps the bucket sorted — RowMask's
+                    # bisect-slice restriction depends on it.
+                    insort(bucket, row_id)
                 self._index_versions[key] = version
         self.kernel_stats.encoded_appends += 1
         return True
@@ -514,8 +602,12 @@ class ColumnarInstance:
                     bucket = index.get(index_key)
                     if bucket is None:
                         index[index_key] = [row_id]
-                    else:
+                    elif row_id > bucket[-1]:
                         bucket.append(row_id)
+                    else:
+                        # Resurrections re-enter with their old id —
+                        # keep the bucket sorted for RowMask slicing.
+                        insort(bucket, row_id)
                 self._index_versions[key] = version
         self.kernel_stats.encoded_appends += added
         return added

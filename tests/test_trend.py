@@ -46,6 +46,11 @@ class TestDirection:
             ("phases.verify.p99_seconds", -1),
             ("phases.task.self_seconds", -1),
             ("coverage", 1),
+            # E14 probe-throughput leaves: rows/sec is higher-is-better,
+            # and a drop in the block-vs-row ratio is a regression.
+            ("delta_contiguous.block_rows_per_second", 1),
+            ("by_fanout.16.row_rows_per_second", 1),
+            ("delta_sparse.block_vs_row_speedup", 1),
         ],
     )
     def test_polarity(self, path, expected):
